@@ -1,0 +1,79 @@
+// ligra-bench regenerates the tables and figures of the Ligra paper's
+// evaluation at container scale. Each -experiment ID corresponds to a row
+// of DESIGN.md's per-experiment index:
+//
+//	table1        input graphs (paper Table 1)
+//	table2        running times: serial vs Ligra 1-worker vs P-worker (Table 2)
+//	scalability   time vs worker count per application (speedup figures)
+//	frontier      per-round BFS frontier size and sparse/dense decision
+//	threshold     edgeMap switch-threshold sensitivity sweep
+//	denseforward  read-based vs write-based dense traversal
+//	compress      Ligra+ byte-compression space/time ablation
+//	all           everything above, in order
+//
+// Usage:
+//
+//	ligra-bench -experiment all -scale 15 -rounds 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ligra/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ligra-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ligra-bench", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		experiment = fs.String("experiment", "all", "experiment ID or 'all': "+strings.Join(bench.ExperimentOrder(), " | "))
+		scale      = fs.Int("scale", 14, "synthetic graph scale (~2^scale vertices)")
+		rounds     = fs.Int("rounds", 3, "timed repetitions per measurement (median reported)")
+		maxProcs   = fs.Int("maxprocs", 0, "largest worker count in the scalability sweep (0 = 2*GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := bench.Config{
+		Scale:    *scale,
+		Rounds:   *rounds,
+		MaxProcs: *maxProcs,
+		Out:      stdout,
+	}
+
+	ids := bench.ExperimentOrder()
+	if *experiment != "all" {
+		ids = strings.Split(*experiment, ",")
+	}
+	exps := bench.Experiments()
+	for i, id := range ids {
+		runExp, ok := exps[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %s)",
+				id, strings.Join(bench.ExperimentOrder(), ", "))
+		}
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		fmt.Fprintf(stdout, "=== %s ===\n", id)
+		start := time.Now()
+		if err := runExp(cfg); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprintf(stdout, "[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-experiment", "table1", "-scale", "9", "-rounds", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== table1 ===") || !strings.Contains(out, "rMat") {
+		t.Errorf("unexpected output: %q", out)
+	}
+	if !strings.Contains(out, "completed in") {
+		t.Error("missing completion banner")
+	}
+}
+
+func TestRunCommaSeparatedList(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-experiment", "frontier,threshold", "-scale", "9", "-rounds", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== frontier ===") || !strings.Contains(out, "=== threshold ===") {
+		t.Errorf("experiments missing from output")
+	}
+	if strings.Index(out, "frontier") > strings.Index(out, "threshold") {
+		t.Error("experiments out of order")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "nope"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunAllAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-experiment", "all", "-scale", "9", "-rounds", "1", "-maxprocs", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "table2", "scalability", "frontier", "threshold", "denseforward", "compress"} {
+		if !strings.Contains(buf.String(), "=== "+id+" ===") {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}

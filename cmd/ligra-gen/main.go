@@ -1,0 +1,115 @@
+// ligra-gen generates synthetic graphs in Ligra's AdjacencyGraph text
+// format or this repository's binary format.
+//
+// Usage:
+//
+//	ligra-gen -family rmat -scale 16 -edgefactor 16 -seed 42 -o rmat16.adj
+//	ligra-gen -family grid3d -side 64 -binary -o grid.bin
+//	ligra-gen -family randlocal -n 100000 -degree 10 -window 4096 -o rl.adj
+//	ligra-gen -family er -n 10000 -m 50000 -o er.adj
+//
+// Add -weights W to attach deterministic hash weights in [1, W].
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ligra"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ligra-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ligra-gen", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		family     = fs.String("family", "rmat", "graph family: rmat | rmat-directed | grid3d | randlocal | er | ws | twitter-sim")
+		scale      = fs.Int("scale", 16, "rmat: log2 of the vertex count")
+		edgeFactor = fs.Int("edgefactor", 16, "rmat: edges per vertex before dedup")
+		side       = fs.Int("side", 32, "grid3d: vertices per dimension (n = side^3)")
+		n          = fs.Int("n", 1<<16, "randlocal/er: number of vertices")
+		m          = fs.Int("m", 1<<19, "er: number of undirected edges")
+		degree     = fs.Int("degree", 10, "randlocal: edges per vertex")
+		window     = fs.Int("window", 0, "randlocal: locality window (0 = whole range)")
+		seed       = fs.Uint64("seed", 42, "generator seed")
+		weights    = fs.Int("weights", 0, "attach hash weights in [1, W] (0 = unweighted)")
+		binary     = fs.Bool("binary", false, "write the binary format instead of text")
+		format     = fs.String("format", "", "output format: adj (default) | bin | el (SNAP edge list)")
+		kWS        = fs.Int("k", 4, "ws: lattice neighbors per side")
+		pWS        = fs.Float64("p", 0.1, "ws: rewiring probability")
+		out        = fs.String("o", "", "output path (required)")
+		stats      = fs.Bool("stats", true, "print graph statistics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-o output path is required")
+	}
+
+	g, err := generate(*family, *scale, *edgeFactor, *side, *n, *m, *degree, *window, *kWS, *pWS, *seed)
+	if err != nil {
+		return err
+	}
+	if *weights > 0 {
+		g = g.AddWeights(ligra.HashWeight(int32(*weights)))
+	}
+	switch {
+	case *format == "el":
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := ligra.WriteEdgeList(f, g); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	case *format == "bin" || *binary:
+		if err := ligra.SaveGraph(*out, g, true); err != nil {
+			return err
+		}
+	case *format == "" || *format == "adj":
+		if err := ligra.SaveGraph(*out, g, false); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if *stats {
+		fmt.Fprintln(stdout, ligra.ComputeStats(g))
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	return nil
+}
+
+func generate(family string, scale, edgeFactor, side, n, m, degree, window, kWS int, pWS float64, seed uint64) (*ligra.Graph, error) {
+	switch family {
+	case "rmat":
+		return ligra.RMAT(scale, edgeFactor, ligra.PBBSRMAT, seed)
+	case "rmat-directed":
+		return ligra.RMATDirected(scale, edgeFactor, ligra.PBBSRMAT, seed)
+	case "twitter-sim":
+		return ligra.RMAT(scale, edgeFactor, ligra.Graph500RMAT, seed)
+	case "grid3d":
+		return ligra.Grid3D(side)
+	case "randlocal":
+		return ligra.RandomLocal(n, degree, window, seed)
+	case "er":
+		return ligra.ErdosRenyi(n, m, seed)
+	case "ws":
+		return ligra.WattsStrogatz(n, kWS, pWS, seed)
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+}

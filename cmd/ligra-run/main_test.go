@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ligra"
+)
+
+func TestRunEveryAlgorithm(t *testing.T) {
+	algos := []string{
+		"bfs", "bc", "bc-approx", "radii", "components", "pagerank",
+		"pagerank-delta", "bellman-ford", "delta-stepping", "kcore",
+		"mis", "triangles", "clustering", "scc", "coloring", "matching",
+		"cc-ldd", "eccentricity", "local-cluster", "densest",
+	}
+	for _, a := range algos {
+		var buf bytes.Buffer
+		err := run([]string{"-algo", a, "-gen", "rmat", "-scale", "8"}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if !strings.Contains(buf.String(), "time:") {
+			t.Errorf("%s: no timing line in output", a)
+		}
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-algo", "nope", "-gen", "rmat", "-scale", "8"}, &buf); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestRunModesAndTrace(t *testing.T) {
+	for _, mode := range []string{"auto", "sparse", "dense", "dense-forward"} {
+		var buf bytes.Buffer
+		err := run([]string{"-algo", "bfs", "-gen", "rmat", "-scale", "8", "-mode", mode, "-trace"}, &buf)
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		if !strings.Contains(buf.String(), "round") {
+			t.Errorf("mode %s: trace missing", mode)
+		}
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-algo", "bfs", "-gen", "rmat", "-scale", "8", "-mode", "bogus"}, &buf); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	g, err := ligra.Grid3D(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "g.adj")
+	if err := ligra.SaveGraph(path, g, false); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-algo", "components", "-graph", path, "-s"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 components") {
+		t.Errorf("torus should be connected: %q", buf.String())
+	}
+}
+
+func TestRunCompressedView(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-algo", "bfs", "-gen", "rmat", "-scale", "8", "-compress"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "compressed representation") {
+		t.Error("compression banner missing")
+	}
+}
+
+func TestRunWeightsAndSource(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-algo", "bellman-ford", "-gen", "grid3d", "-scale", "9",
+		"-weights", "31", "-source", "0", "-rounds", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "best of 2") {
+		t.Error("rounds flag ignored")
+	}
+	// Out-of-range source rejected.
+	if err := run([]string{"-algo", "bfs", "-gen", "rmat", "-scale", "8",
+		"-source", "99999999"}, &buf); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-algo", "bfs"}, &buf); err == nil {
+		t.Error("no input source accepted")
+	}
+}
+
+func TestMaxDegreeVertex(t *testing.T) {
+	g, err := ligra.RMAT(8, 8, ligra.Graph500RMAT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := maxDegreeVertex(g)
+	for u := 0; u < g.NumVertices(); u++ {
+		if g.OutDegree(uint32(u)) > g.OutDegree(v) {
+			t.Fatalf("vertex %d beats claimed max %d", u, v)
+		}
+	}
+}

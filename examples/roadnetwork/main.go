@@ -1,0 +1,90 @@
+// Road-network routing: shortest paths on a high-diameter weighted mesh —
+// the other end of the workload spectrum from social networks, where
+// frontiers stay small and edgeMap should stay sparse nearly throughout.
+package main
+
+import (
+	"fmt"
+
+	"ligra"
+)
+
+func main() {
+	// A 3-D torus mesh stands in for a road network: bounded degree, high
+	// diameter. Deterministic hash weights in [1, 100] model travel times.
+	g, err := ligra.Grid3D(32) // 32^3 = 32768 intersections
+	if err != nil {
+		panic(err)
+	}
+	wg := g.AddWeights(ligra.HashWeight(100))
+	fmt.Println("road network:", ligra.ComputeStats(wg))
+
+	src := uint32(0)
+
+	// Unweighted hop distance (BFS) vs weighted travel time (Bellman-Ford).
+	hops := ligra.BFSLevels(wg, src, ligra.Options{})
+	tr := &ligra.Trace{}
+	sp := ligra.BellmanFord(wg, src, ligra.Options{Trace: tr})
+	if sp.NegativeCycle {
+		panic("unexpected negative cycle")
+	}
+
+	// Sparse share of rounds: on a mesh the frontier is a wavefront, so
+	// most rounds should run sparse.
+	denseRounds := 0
+	for _, e := range tr.Entries {
+		if e.Dense {
+			denseRounds++
+		}
+	}
+	fmt.Printf("Bellman-Ford: %d rounds, %d ran dense (%0.f%%)\n",
+		sp.Rounds, denseRounds, 100*float64(denseRounds)/float64(len(tr.Entries)))
+
+	// Farthest destinations by hops and by travel time differ.
+	farHop, farTime := 0, 0
+	for v := range hops {
+		if hops[v] > hops[farHop] {
+			farHop = v
+		}
+		if sp.Dist[v] < ligra.InfDist && sp.Dist[v] > sp.Dist[farTime] {
+			farTime = v
+		}
+	}
+	fmt.Printf("farthest by hops: vertex %d (%d hops, travel time %d)\n",
+		farHop, hops[farHop], sp.Dist[farHop])
+	fmt.Printf("farthest by time: vertex %d (%d hops, travel time %d)\n",
+		farTime, hops[farTime], sp.Dist[farTime])
+
+	// Estimated network diameter via the radii application.
+	radii := ligra.Radii(wg, ligra.DefaultRadiiOptions())
+	maxR := int32(0)
+	for _, r := range radii.Radii {
+		if r > maxR {
+			maxR = r
+		}
+	}
+	fmt.Printf("estimated diameter (lower bound from %d sampled BFS): %d\n",
+		len(radii.Sources), maxR)
+
+	// Reconstruct one shortest route greedily: walk upstream from the
+	// farthest vertex, always stepping to a predecessor on a tight edge.
+	path := []uint32{uint32(farTime)}
+	cur := uint32(farTime)
+	for cur != src && len(path) < 10000 {
+		next := cur
+		wg.InNeighbors(cur, func(s uint32, w int32) bool {
+			if sp.Dist[s]+int64(w) == sp.Dist[cur] {
+				next = s
+				return false
+			}
+			return true
+		})
+		if next == cur {
+			break
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	fmt.Printf("one optimal route uses %d road segments (cost %d)\n",
+		len(path)-1, sp.Dist[farTime])
+}

@@ -1,0 +1,3 @@
+module ligra
+
+go 1.23

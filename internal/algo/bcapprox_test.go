@@ -1,0 +1,116 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"ligra/internal/core"
+	"ligra/internal/gen"
+	"ligra/internal/graph"
+	"ligra/internal/seq"
+)
+
+func TestBCApproxExactWhenAllSources(t *testing.T) {
+	// With k = n the estimator is exact (scale factor n/n = 1): compare
+	// against the sum of sequential Brandes over all sources.
+	g, err := gen.ErdosRenyi(60, 150, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	want := make([]float64, n)
+	for s := uint32(0); int(s) < n; s++ {
+		d := seq.BC(g, s)
+		for v := range d {
+			want[v] += d[v]
+		}
+	}
+	res := BCApprox(g, n, 3, core.Options{})
+	if len(res.Sources) != n {
+		t.Fatalf("%d sources, want %d", len(res.Sources), n)
+	}
+	for v := range want {
+		if math.Abs(res.Scores[v]-want[v]) > 1e-6*(1+math.Abs(want[v])) {
+			t.Fatalf("score[%d] = %v, want %v", v, res.Scores[v], want[v])
+		}
+	}
+}
+
+func TestBCApproxRanksStarCenterHighest(t *testing.T) {
+	g, err := gen.Star(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := BCApprox(g, 10, 7, core.Options{})
+	for v := 1; v < 50; v++ {
+		if res.Scores[v] > res.Scores[0] {
+			t.Fatalf("leaf %d scored above the center", v)
+		}
+	}
+	if res.Scores[0] == 0 {
+		t.Error("center scored zero")
+	}
+}
+
+func TestBCApproxDefaultsK(t *testing.T) {
+	g, err := gen.Cycle(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := BCApprox(g, 0, 1, core.Options{})
+	if len(res.Sources) != 16 {
+		t.Errorf("default k = %d, want 16", len(res.Sources))
+	}
+}
+
+func TestLocalClusteringCoefficients(t *testing.T) {
+	// Complete graph: every coefficient is 1.
+	k5, err := gen.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range LocalClusteringCoefficients(k5) {
+		if math.Abs(c-1) > 1e-12 {
+			t.Errorf("K5 lcc[%d] = %v, want 1", v, c)
+		}
+	}
+	// Path: no triangles, all zero.
+	p, err := gen.Path(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range LocalClusteringCoefficients(p) {
+		if c != 0 {
+			t.Errorf("path lcc[%d] = %v, want 0", v, c)
+		}
+	}
+	// Triangle with a pendant: pendant 0, triangle corners:
+	// corner 2 (attached to pendant) has deg 3 -> 1/3; others 1.
+	g, err := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 2, Dst: 3},
+	}, graph.BuildOptions{Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcc := LocalClusteringCoefficients(g)
+	want := []float64{1, 1, 1.0 / 3, 0}
+	for v := range want {
+		if math.Abs(lcc[v]-want[v]) > 1e-12 {
+			t.Errorf("lcc[%d] = %v, want %v", v, lcc[v], want[v])
+		}
+	}
+}
+
+func TestClusteringConsistentWithTriangles(t *testing.T) {
+	// Sum over vertices of per-vertex triangles = 3 * total triangles.
+	g := testGraphs(t)["rmat"]
+	acc := make([]int64, g.NumVertices())
+	countTrianglesPerVertex(g, acc)
+	var sum int64
+	for _, c := range acc {
+		sum += c
+	}
+	if want := 3 * TriangleCount(g); sum != want {
+		t.Errorf("per-vertex sum %d, want %d", sum, want)
+	}
+}

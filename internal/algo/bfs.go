@@ -1,0 +1,98 @@
+// Package algo implements the six applications of the Ligra paper (§5) —
+// breadth-first search, betweenness centrality, graph radii estimation,
+// connected components, PageRank (and PageRank-Delta), and Bellman-Ford —
+// plus three extension algorithms from the same research line (k-core
+// decomposition, maximal independent set, and triangle counting). Every
+// algorithm is expressed against the core.EdgeMap / core.VertexMap
+// interface exactly as in the paper, and accepts a core.Options so the
+// benchmark harness can force sparse/dense modes and sweep thresholds.
+package algo
+
+import (
+	"sync/atomic"
+
+	"ligra/internal/core"
+	"ligra/internal/graph"
+	"ligra/internal/parallel"
+)
+
+// BFSResult carries the output of a breadth-first search.
+type BFSResult struct {
+	// Parents[v] is the BFS-tree parent of v, the source for the source
+	// itself, and core.None for unreachable vertices.
+	Parents []uint32
+	// Rounds is the number of edgeMap rounds (the BFS depth reached).
+	Rounds int
+	// Visited is the number of reachable vertices (including the source).
+	Visited int
+}
+
+// BFS runs the paper's breadth-first search (Figure 1/§5.1): the frontier
+// expands one level per round; Update claims unvisited destinations with a
+// compare-and-swap on the parent array.
+func BFS(g graph.View, source uint32, opts core.Options) *BFSResult {
+	n := g.NumVertices()
+	parents := make([]uint32, n)
+	parallel.Fill(parents, core.None)
+	parents[source] = source
+
+	funcs := core.EdgeFuncs{
+		// Dense (pull): single writer per destination, plain store.
+		Update: func(s, d uint32, _ int32) bool {
+			if parents[d] == core.None {
+				parents[d] = s
+				return true
+			}
+			return false
+		},
+		// Sparse (push): CAS claims the parent exactly once.
+		UpdateAtomic: func(s, d uint32, _ int32) bool {
+			return atomic.CompareAndSwapUint32(&parents[d], core.None, s)
+		},
+		Cond: func(d uint32) bool { return parents[d] == core.None },
+	}
+
+	frontier := core.NewSingle(n, source)
+	visited := 1
+	rounds := 0
+	for !frontier.IsEmpty() {
+		frontier = core.EdgeMap(g, frontier, funcs, opts)
+		visited += frontier.Size()
+		if frontier.Size() > 0 {
+			rounds++
+		}
+	}
+	return &BFSResult{Parents: parents, Rounds: rounds, Visited: visited}
+}
+
+// BFSLevels derives per-vertex BFS levels (distance in edges from the
+// source; -1 for unreachable) by rerunning the traversal with a level
+// counter. It shares BFS's edgeMap structure and exists because several
+// experiments report level-by-level behaviour.
+func BFSLevels(g graph.View, source uint32, opts core.Options) []int32 {
+	n := g.NumVertices()
+	levels := make([]int32, n)
+	parallel.Fill(levels, int32(-1))
+	levels[source] = 0
+
+	round := int32(0)
+	funcs := core.EdgeFuncs{
+		Update: func(_, d uint32, _ int32) bool {
+			if levels[d] == -1 {
+				levels[d] = round
+				return true
+			}
+			return false
+		},
+		UpdateAtomic: func(_, d uint32, _ int32) bool {
+			return atomic.CompareAndSwapInt32(&levels[d], -1, round)
+		},
+		Cond: func(d uint32) bool { return levels[d] == -1 },
+	}
+	frontier := core.NewSingle(n, source)
+	for !frontier.IsEmpty() {
+		round++
+		frontier = core.EdgeMap(g, frontier, funcs, opts)
+	}
+	return levels
+}

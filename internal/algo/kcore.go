@@ -1,0 +1,136 @@
+package algo
+
+import (
+	"sync/atomic"
+
+	"ligra/internal/buckets"
+	"ligra/internal/core"
+	"ligra/internal/graph"
+	"ligra/internal/parallel"
+)
+
+// KCoreResult carries the output of the k-core decomposition.
+type KCoreResult struct {
+	// Coreness[v] is the largest k such that v belongs to the k-core (the
+	// maximal subgraph with all induced degrees >= k).
+	Coreness []int32
+	// MaxCore is the largest coreness over all vertices (the degeneracy).
+	MaxCore int32
+	// Rounds is the total number of peeling edgeMap rounds.
+	Rounds int
+}
+
+// KCore computes the k-core decomposition of a symmetric graph by parallel
+// peeling, the bucketing-style workload that motivated the Julienne
+// extension of Ligra: for k = 1, 2, ... it repeatedly removes vertices
+// whose induced degree is below k (assigning them coreness k-1), pushing
+// degree decrements to neighbors through edgeMap. A neighbor joins the
+// next peel set exactly when its degree first drops below k, which the
+// fetch-and-add detects without extra flags.
+func KCore(g graph.View, opts core.Options) *KCoreResult {
+	n := g.NumVertices()
+	coreness := make([]int32, n)
+	parallel.Fill(coreness, int32(-1))
+	deg := make([]int32, n)
+	parallel.For(n, func(i int) { deg[i] = int32(g.OutDegree(uint32(i))) })
+
+	alive := n
+	rounds := 0
+	k := int32(1)
+	for alive > 0 {
+		peel := core.NewFromFunc(n, func(v uint32) bool {
+			return coreness[v] == -1 && deg[v] < k
+		})
+		if peel.IsEmpty() {
+			k++
+			continue
+		}
+		funcs := core.EdgeFuncs{
+			UpdateAtomic: func(_, d uint32, _ int32) bool {
+				if atomic.LoadInt32(&coreness[d]) != -1 {
+					return false
+				}
+				// Exactly-once: only the decrement crossing k-1 returns
+				// true. Current peel members sit below k-1 already, so
+				// they never rejoin.
+				return atomic.AddInt32(&deg[d], -1) == k-1
+			},
+		}
+		for !peel.IsEmpty() {
+			core.VertexMap(peel, func(v uint32) { coreness[v] = k - 1 })
+			alive -= peel.Size()
+			peel = core.EdgeMap(g, peel, funcs, opts)
+			rounds++
+		}
+		k++
+	}
+	maxCore := int32(0)
+	if n > 0 {
+		maxCore = parallel.Max(coreness)
+	}
+	return &KCoreResult{Coreness: coreness, MaxCore: maxCore, Rounds: rounds}
+}
+
+// KCoreJulienne computes the same k-core decomposition using the
+// work-efficient bucketing structure of Julienne (Dhulipala, Blelloch,
+// Shun, SPAA 2017): vertices live in buckets keyed by remaining degree;
+// the smallest bucket is peeled, its members' coreness is the bucket
+// index, and decremented neighbors move to bucket max(newDegree, k).
+// Unlike KCore's scan for the next peel set (O(|V|) per round), the
+// bucket structure charges each vertex move O(1).
+func KCoreJulienne(g graph.View, opts core.Options) *KCoreResult {
+	n := g.NumVertices()
+	coreness := make([]int32, n)
+	parallel.Fill(coreness, int32(-1))
+	deg := make([]int32, n)
+	parallel.For(n, func(i int) { deg[i] = int32(g.OutDegree(uint32(i))) })
+
+	bkts := buckets.New(n, func(v uint32) int64 { return int64(deg[v]) })
+
+	// Touched neighbors join the output frontier once per peel round;
+	// duplicates are possible (several peeled neighbors), so dedup.
+	opts.RemoveDuplicates = true
+	var k int64
+	funcs := core.EdgeFuncs{
+		UpdateAtomic: func(_, d uint32, _ int32) bool {
+			if atomic.LoadInt32(&coreness[d]) != -1 {
+				return false
+			}
+			atomic.AddInt32(&deg[d], -1)
+			return true
+		},
+	}
+
+	rounds := 0
+	maxCore := int32(0)
+	for {
+		id, members, ok := bkts.Next()
+		if !ok {
+			break
+		}
+		k = id
+		rounds++
+		for _, v := range members {
+			coreness[v] = int32(k)
+		}
+		if int32(k) > maxCore {
+			maxCore = int32(k)
+		}
+		frontier := core.NewSparse(n, members)
+		out := core.EdgeMap(g, frontier, funcs, opts)
+		out.ForEachSeq(func(d uint32) {
+			if coreness[d] != -1 {
+				return
+			}
+			nd := int64(deg[d])
+			if nd < k {
+				nd = k
+			}
+			bkts.Update(d, nd)
+		})
+	}
+	if n == 0 {
+		maxCore = 0
+	}
+	return &KCoreResult{Coreness: coreness, MaxCore: maxCore, Rounds: rounds}
+}

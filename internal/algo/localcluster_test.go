@@ -1,0 +1,167 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"ligra/internal/gen"
+	"ligra/internal/graph"
+)
+
+// barbell builds two k-cliques joined by a single bridge edge.
+func barbell(t *testing.T, k int) *graph.Graph {
+	t.Helper()
+	var edges []graph.Edge
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			edges = append(edges, graph.Edge{Src: uint32(a), Dst: uint32(b)})
+			edges = append(edges, graph.Edge{Src: uint32(k + a), Dst: uint32(k + b)})
+		}
+	}
+	edges = append(edges, graph.Edge{Src: 0, Dst: uint32(k)})
+	g, err := graph.FromEdges(2*k, edges, graph.BuildOptions{Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAPPRMassConservation(t *testing.T) {
+	for _, gname := range []string{"rmat", "grid3d", "tree"} {
+		g := testGraphs(t)[gname]
+		res, err := APPR(g, 0, 0.15, 1e-5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mass float64
+		for _, v := range res.P {
+			mass += v
+		}
+		for _, v := range res.R {
+			mass += v
+		}
+		if math.Abs(mass-1) > 1e-9 {
+			t.Errorf("%s: total mass %v, want 1", gname, mass)
+		}
+		// Residual invariant: r(v) < eps*deg(v) for every touched vertex.
+		for v, rv := range res.R {
+			if deg := float64(g.OutDegree(v)); deg > 0 && rv >= 1e-5*deg {
+				t.Errorf("%s: residual %v at %d exceeds eps*deg %v", gname, rv, v, 1e-5*deg)
+			}
+		}
+		if res.Pushes == 0 {
+			t.Errorf("%s: no pushes performed", gname)
+		}
+	}
+}
+
+func TestAPPRIsLocal(t *testing.T) {
+	// The support must not grow with the graph: the same seed/eps on a
+	// much larger graph of the same family touches a similar set size.
+	small, err := gen.Grid3D(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := gen.Grid3D(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := APPR(small, 0, 0.2, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := APPR(large, 0, 0.2, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.P) > 4*len(a.P)+16 {
+		t.Errorf("support grew with graph size: %d vs %d", len(b.P), len(a.P))
+	}
+	if len(b.P) >= large.NumVertices()/2 {
+		t.Errorf("APPR touched half the graph (%d of %d)", len(b.P), large.NumVertices())
+	}
+}
+
+func TestAPPRErrors(t *testing.T) {
+	g := testGraphs(t)["path"]
+	if _, err := APPR(g, 0, 0, 1e-4); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := APPR(g, 0, 1.5, 1e-4); err == nil {
+		t.Error("alpha>1 accepted")
+	}
+	if _, err := APPR(g, 0, 0.2, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := APPR(g, 1<<30, 0.2, 1e-4); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+}
+
+func TestAPPRIsolatedSeed(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{{Src: 1, Dst: 2}}, graph.BuildOptions{Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := APPR(g, 0, 0.2, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P[0] != 1 || len(res.R) != 0 {
+		t.Errorf("isolated seed: %+v", res)
+	}
+}
+
+func TestLocalClusterFindsPlantedClique(t *testing.T) {
+	const k = 12
+	g := barbell(t, k)
+	res, err := LocalCluster(g, 3, 0.15, 1e-7) // seed inside clique A
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The best cut is the bridge: conductance 1/vol(clique) — tiny.
+	inA := 0
+	for _, v := range res.Cluster {
+		if v < k {
+			inA++
+		}
+	}
+	if inA != k || len(res.Cluster) != k {
+		t.Errorf("cluster = %v (want exactly clique A)", res.Cluster)
+	}
+	wantCond := 1.0 / float64(k*(k-1)+1)
+	if math.Abs(res.Conductance-wantCond) > 1e-9 {
+		t.Errorf("conductance = %v, want %v", res.Conductance, wantCond)
+	}
+}
+
+func TestSweepCutEmpty(t *testing.T) {
+	g := testGraphs(t)["path"]
+	res := SweepCut(g, map[uint32]float64{})
+	if len(res.Cluster) != 0 || res.Conductance != 1 {
+		t.Errorf("empty sweep = %+v", res)
+	}
+}
+
+func TestLocalClusterOnPowerLaw(t *testing.T) {
+	g := testGraphs(t)["rmat"]
+	res, err := LocalCluster(g, pickFirstNonZeroDeg(g), 0.15, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cluster) == 0 {
+		t.Fatal("empty cluster")
+	}
+	if res.Conductance < 0 || res.Conductance > 1 {
+		t.Errorf("conductance out of range: %v", res.Conductance)
+	}
+}
+
+func pickFirstNonZeroDeg(g graph.View) uint32 {
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.OutDegree(uint32(v)) > 0 {
+			return uint32(v)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,108 @@
+package algo
+
+import (
+	"sync/atomic"
+
+	"ligra/internal/atomicx"
+	"ligra/internal/graph"
+	"ligra/internal/parallel"
+)
+
+// MatchingResult carries the output of maximal matching.
+type MatchingResult struct {
+	// Partner[v] is the vertex matched with v, or core.None if v is
+	// unmatched.
+	Partner []uint32
+	// Size is the number of matched edges.
+	Size int
+	// Rounds is the number of local-maxima selection rounds.
+	Rounds int
+}
+
+// MaximalMatching computes a maximal matching of a symmetric simple graph
+// with the parallel greedy algorithm analyzed by Blelloch, Fineman and
+// Shun (SPAA 2012): edges get random priorities; every round, edges that
+// are the priority maximum at both endpoints join the matching and their
+// endpoints retire. Expected O(log n) rounds.
+func MaximalMatching(g graph.View, seed uint64) *MatchingResult {
+	n := g.NumVertices()
+	const none = ^uint32(0)
+	partner := make([]uint32, n)
+	parallel.Fill(partner, none)
+
+	// Edge priority, symmetric in the endpoints.
+	edgePri := func(a, b uint32) uint64 {
+		if a > b {
+			a, b = b, a
+		}
+		// Avoid zero so "no candidate" is distinguishable.
+		return hashU64(seed, uint64(a)<<32|uint64(b)) | 1
+	}
+
+	live := func(v uint32) bool { return atomic.LoadUint32(&partner[v]) == none }
+
+	best := make([]uint64, n) // per-round best incident edge priority
+	rounds := 0
+	for {
+		// Phase 1: every live vertex computes the max priority among its
+		// live incident edges.
+		var anyLive atomic.Bool
+		parallel.For(n, func(i int) {
+			v := uint32(i)
+			best[i] = 0
+			if !live(v) {
+				return
+			}
+			var b uint64
+			g.OutNeighbors(v, func(d uint32, _ int32) bool {
+				if d != v && live(d) {
+					if p := edgePri(v, d); p > b {
+						b = p
+					}
+				}
+				return true
+			})
+			best[i] = b
+			if b != 0 && !anyLive.Load() {
+				anyLive.Store(true)
+			}
+		})
+		if !anyLive.Load() {
+			break
+		}
+		rounds++
+
+		// Phase 2: an edge that is the maximum at both endpoints matches.
+		// The lower endpoint claims both sides; CAS guards against the
+		// (impossible by priority-uniqueness, but cheap to exclude)
+		// double-claim.
+		parallel.For(n, func(i int) {
+			v := uint32(i)
+			if best[i] == 0 || !live(v) {
+				return
+			}
+			g.OutNeighbors(v, func(d uint32, _ int32) bool {
+				if d <= v || !live(d) {
+					return true
+				}
+				p := edgePri(v, d)
+				if p == best[v] && p == best[d] {
+					if atomicx.CASUint32(&partner[v], none, d) {
+						if atomicx.CASUint32(&partner[d], none, v) {
+							return false
+						}
+						// d was taken concurrently (priority tie across
+						// distinct edges): roll back v.
+						atomic.StoreUint32(&partner[v], none)
+					}
+				}
+				return true
+			})
+		})
+	}
+
+	size := parallel.CountFunc(n, func(i int) bool {
+		return partner[i] != none && partner[i] > uint32(i)
+	})
+	return &MatchingResult{Partner: partner, Size: size, Rounds: rounds}
+}

@@ -1,0 +1,181 @@
+package algo
+
+import (
+	"sync/atomic"
+
+	"ligra/internal/atomicx"
+	"ligra/internal/core"
+	"ligra/internal/graph"
+	"ligra/internal/parallel"
+)
+
+// RadiiOptions configures the eccentricity estimator.
+type RadiiOptions struct {
+	// K is the number of simultaneous BFS sources packed into one 64-bit
+	// visit word (the paper uses K = 64, one bit per source).
+	K int
+	// Seed selects the random sample of sources deterministically.
+	Seed uint64
+	// EdgeMap options forwarded to every round.
+	EdgeMap core.Options
+}
+
+// DefaultRadiiOptions returns the paper's parameters.
+func DefaultRadiiOptions() RadiiOptions {
+	return RadiiOptions{K: 64, Seed: 1}
+}
+
+// RadiiResult carries the output of the radii estimation.
+type RadiiResult struct {
+	// Radii[v] is the estimated eccentricity of v: the maximum BFS
+	// distance from v to any of the K sampled sources that reached it
+	// (a lower bound on the true eccentricity). -1 if no source reached v.
+	Radii []int32
+	// Sources are the sampled BFS roots.
+	Sources []uint32
+	// Rounds is the number of edgeMap rounds (the largest distance from
+	// the sample to any vertex).
+	Rounds int
+}
+
+// Radii runs the paper's graph-eccentricity estimation (§5.3): K
+// simultaneous BFS from random sources, sharing work through per-vertex
+// 64-bit visit vectors. Each round, a vertex whose visit word gains new
+// bits updates its radius estimate to the current round, so the final
+// estimate of v is its distance to the farthest sampled source reaching v.
+func Radii(g graph.View, opts RadiiOptions) *RadiiResult {
+	n := g.NumVertices()
+	if opts.K <= 0 || opts.K > 64 {
+		opts.K = 64
+	}
+	if opts.K > n {
+		opts.K = n
+	}
+	// Sample K distinct sources deterministically.
+	sources := sampleVertices(n, opts.K, opts.Seed)
+	radii, rounds := radiiFromSources(g, sources, opts.EdgeMap)
+	return &RadiiResult{Radii: radii, Sources: sources, Rounds: rounds}
+}
+
+// RadiiMulti extends the estimator beyond the paper's K=64 by running
+// ceil(K/64) batches of the 64-way shared-bit-vector multi-BFS and
+// keeping the per-vertex maximum; sharing happens within each batch.
+// Sources are sampled without replacement across the whole run.
+func RadiiMulti(g graph.View, k int, seed uint64, opts core.Options) *RadiiResult {
+	n := g.NumVertices()
+	if k <= 0 {
+		k = 64
+	}
+	if k > n {
+		k = n
+	}
+	sources := sampleVertices(n, k, seed)
+	radii := make([]int32, n)
+	parallel.Fill(radii, int32(-1))
+	rounds := 0
+	for lo := 0; lo < len(sources); lo += 64 {
+		hi := lo + 64
+		if hi > len(sources) {
+			hi = len(sources)
+		}
+		batch, r := radiiFromSources(g, sources[lo:hi], opts)
+		if r > rounds {
+			rounds = r
+		}
+		parallel.For(n, func(i int) {
+			if batch[i] > radii[i] {
+				radii[i] = batch[i]
+			}
+		})
+	}
+	return &RadiiResult{Radii: radii, Sources: sources, Rounds: rounds}
+}
+
+// radiiFromSources runs the shared-bit-vector multi-BFS from the given
+// sources (at most 64) and returns per-vertex max distances from the
+// sources that reach them (-1 when unreached) plus the number of rounds.
+func radiiFromSources(g graph.View, sources []uint32, emOpts core.Options) ([]int32, int) {
+	n := g.NumVertices()
+	if len(sources) > 64 {
+		panic("algo: at most 64 simultaneous BFS sources")
+	}
+	radii := make([]int32, n)
+	parallel.Fill(radii, int32(-1))
+	visited := make([]uint64, n)
+	nextVisited := make([]uint64, n)
+	for i, s := range sources {
+		visited[s] = 1 << uint(i)
+		radii[s] = 0
+	}
+
+	round := int32(0)
+	update := func(s, d uint32, _ int32) bool {
+		sBits := atomic.LoadUint64(&visited[s]) // read-only during a round
+		dBits := visited[d]                     // likewise read-only
+		if sBits|dBits == dBits {
+			return false // nothing new to contribute
+		}
+		atomicx.OrUint64(&nextVisited[d], sBits|dBits)
+		// Join the output frontier once per round.
+		return radiiClaim(&radii[d], roundLoad(&round))
+	}
+	funcs := core.EdgeFuncs{Update: update, UpdateAtomic: update}
+
+	frontier := core.NewSparse(n, append([]uint32(nil), sources...))
+	rounds := 0
+	for !frontier.IsEmpty() {
+		atomic.AddInt32(&round, 1)
+		frontier = core.EdgeMap(g, frontier, funcs, emOpts)
+		core.VertexMap(frontier, func(v uint32) {
+			atomic.StoreUint64(&visited[v], atomic.LoadUint64(&nextVisited[v]))
+		})
+		rounds++
+	}
+	return radii, rounds - 1
+}
+
+// roundLoad reads the shared round counter; it is only written between
+// rounds, so this is a formality that keeps the race detector satisfied.
+func roundLoad(r *int32) int32 { return atomic.LoadInt32(r) }
+
+// radiiClaim sets *addr to round exactly once per round, returning whether
+// this caller performed the transition.
+func radiiClaim(addr *int32, round int32) bool {
+	for {
+		old := atomic.LoadInt32(addr)
+		if old == round {
+			return false // someone already claimed this round
+		}
+		if atomic.CompareAndSwapInt32(addr, old, round) {
+			return true
+		}
+	}
+}
+
+// sampleVertices picks k distinct vertices from [0, n) deterministically
+// (Floyd's algorithm over a hash RNG).
+func sampleVertices(n, k int, seed uint64) []uint32 {
+	picked := make(map[uint32]struct{}, k)
+	out := make([]uint32, 0, k)
+	for j := n - k; j < n; j++ {
+		h := hashU64(seed, uint64(j))
+		t := uint32(h % uint64(j+1))
+		if _, ok := picked[t]; ok {
+			t = uint32(j)
+		}
+		picked[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// hashU64 is a splitmix64-style hash for deterministic sampling.
+func hashU64(seed, x uint64) uint64 {
+	x ^= seed + 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,177 @@
+package algo
+
+import (
+	"sync/atomic"
+
+	"ligra/internal/core"
+	"ligra/internal/graph"
+	"ligra/internal/parallel"
+)
+
+// SCCResult carries the output of strongly-connected-components labeling.
+type SCCResult struct {
+	// Labels[v] identifies v's strongly connected component; labels are
+	// the minimum vertex ID in the component.
+	Labels []uint32
+	// Components is the number of strongly connected components.
+	Components int
+}
+
+// SCC computes strongly connected components of a directed graph with the
+// classic parallel forward-backward (FW-BW) decomposition: pick a pivot,
+// find its descendants (BFS over out-edges) and ancestors (BFS over
+// in-edges); their intersection is the pivot's SCC, and the three
+// remaining regions (descendants-only, ancestors-only, rest) contain no
+// crossing SCC, so they recurse independently. Reachability searches are
+// edgeMaps restricted to the active region via Cond.
+func SCC(g graph.View, opts core.Options) *SCCResult {
+	n := g.NumVertices()
+	labels := make([]uint32, n)
+	parallel.Fill(labels, core.None)
+
+	// region[v] identifies the partition piece v currently belongs to;
+	// pieces are processed from an explicit stack of region IDs with one
+	// representative member set each. Unassigned = labeled already.
+	region := make([]uint32, n)
+	parallel.Fill(region, 0)
+
+	type task struct {
+		id      uint32   // region ID to match
+		members []uint32 // vertices of the region (sparse)
+	}
+	all := make([]uint32, n)
+	parallel.Iota(all, 0)
+	stack := []task{{id: 0, members: all}}
+	nextRegion := uint32(1)
+
+	gT := TransposeView(g)
+
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// Filter out members already labeled (region changed).
+		members := parallel.Filter(t.members, func(v uint32) bool {
+			return labels[v] == core.None && region[v] == t.id
+		})
+		if len(members) == 0 {
+			continue
+		}
+		if len(members) == 1 {
+			labels[members[0]] = members[0]
+			continue
+		}
+		// Pivot: the minimum ID makes labels canonical per region...
+		// actually the SCC label must be the min ID *of the SCC*, which
+		// we fix after reachability; any pivot works, use members[0].
+		pivot := members[0]
+
+		fwd := reachableWithin(g, pivot, region, t.id, labels, opts)
+		bwd := reachableWithin(gT, pivot, region, t.id, labels, opts)
+
+		// SCC = fwd ∩ bwd; partition the rest into three new regions.
+		idFwd, idBwd, idRest := nextRegion, nextRegion+1, nextRegion+2
+		nextRegion += 3
+		var sccMin atomic.Uint32
+		sccMin.Store(pivot)
+		parallel.For(len(members), func(i int) {
+			v := members[i]
+			inF, inB := fwd.Get(int(v)), bwd.Get(int(v))
+			switch {
+			case inF && inB:
+				// member of the pivot's SCC; track the minimum ID.
+				for {
+					cur := sccMin.Load()
+					if v >= cur || sccMin.CompareAndSwap(cur, v) {
+						break
+					}
+				}
+			case inF:
+				region[v] = idFwd
+			case inB:
+				region[v] = idBwd
+			default:
+				region[v] = idRest
+			}
+		})
+		minID := sccMin.Load()
+		var fwdM, bwdM, restM []uint32
+		for _, v := range members {
+			switch {
+			case fwd.Get(int(v)) && bwd.Get(int(v)):
+				labels[v] = minID
+			case region[v] == idFwd:
+				fwdM = append(fwdM, v)
+			case region[v] == idBwd:
+				bwdM = append(bwdM, v)
+			default:
+				restM = append(restM, v)
+			}
+		}
+		if len(fwdM) > 0 {
+			stack = append(stack, task{id: idFwd, members: fwdM})
+		}
+		if len(bwdM) > 0 {
+			stack = append(stack, task{id: idBwd, members: bwdM})
+		}
+		if len(restM) > 0 {
+			stack = append(stack, task{id: idRest, members: restM})
+		}
+	}
+
+	components := parallel.CountFunc(n, func(i int) bool { return labels[i] == uint32(i) })
+	return &SCCResult{Labels: labels, Components: components}
+}
+
+// reachableWithin runs a BFS from pivot over g's out-edges restricted to
+// unlabeled vertices of the given region, returning the visited bitset.
+func reachableWithin(g graph.View, pivot uint32, region []uint32, id uint32,
+	labels []uint32, opts core.Options) *visitedBits {
+
+	n := g.NumVertices()
+	visited := newVisitedBits(n)
+	visited.SetAtomic(int(pivot))
+	funcs := core.EdgeFuncs{
+		Update: func(_, d uint32, _ int32) bool {
+			return visited.SetAtomic(int(d))
+		},
+		UpdateAtomic: func(_, d uint32, _ int32) bool {
+			return visited.SetAtomic(int(d))
+		},
+		Cond: func(d uint32) bool {
+			return labels[d] == core.None && region[d] == id && !visited.Get(int(d))
+		},
+	}
+	frontier := core.NewSingle(n, pivot)
+	for !frontier.IsEmpty() {
+		frontier = core.EdgeMap(g, frontier, funcs, opts)
+	}
+	return visited
+}
+
+// visitedBits is a minimal atomic bit vector (local to SCC to keep the
+// dependency on bitset's semantics explicit).
+type visitedBits struct {
+	words []uint32
+}
+
+func newVisitedBits(n int) *visitedBits {
+	return &visitedBits{words: make([]uint32, (n+31)/32)}
+}
+
+func (b *visitedBits) Get(i int) bool {
+	return atomic.LoadUint32(&b.words[i/32])&(1<<(uint(i)%32)) != 0
+}
+
+func (b *visitedBits) SetAtomic(i int) bool {
+	mask := uint32(1) << (uint(i) % 32)
+	addr := &b.words[i/32]
+	for {
+		old := atomic.LoadUint32(addr)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(addr, old, old|mask) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,432 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"ligra/internal/algo"
+	"ligra/internal/compress"
+	"ligra/internal/core"
+	"ligra/internal/graph"
+	"ligra/internal/parallel"
+)
+
+// Config parameterizes the experiment harness.
+type Config struct {
+	// Scale sets the synthetic graph sizes (~2^Scale vertices).
+	Scale int
+	// Rounds is the number of timed repetitions (median reported).
+	Rounds int
+	// MaxProcs caps the worker counts swept by the scalability
+	// experiment; 0 means up to 2*GOMAXPROCS (oversubscription shows the
+	// flat tail on small machines).
+	MaxProcs int
+	// Out receives the rendered tables.
+	Out io.Writer
+}
+
+func (c Config) rounds() int {
+	if c.Rounds < 1 {
+		return 3
+	}
+	return c.Rounds
+}
+
+func (c Config) tab() *tabwriter.Writer {
+	return tabwriter.NewWriter(c.Out, 2, 4, 2, ' ', 0)
+}
+
+// buildSuite constructs every input of the suite, reporting progress.
+func buildSuite(cfg Config) ([]Input, map[string]*graph.Graph, error) {
+	suite := DefaultSuite(cfg.Scale)
+	built := make(map[string]*graph.Graph, len(suite))
+	for _, in := range suite {
+		g, err := in.Build()
+		if err != nil {
+			return nil, nil, fmt.Errorf("building %s: %w", in.Name, err)
+		}
+		built[in.Name] = g
+	}
+	return suite, built, nil
+}
+
+// Table1 prints the input-graph table (paper Table 1: name, |V|, |E|).
+func Table1(cfg Config) error {
+	suite, built, err := buildSuite(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.Out, "Table 1: input graphs (scaled to container size; see DESIGN.md §4)")
+	w := cfg.tab()
+	fmt.Fprintln(w, "Input\tVertices\tDirected edges\tMax deg\tAvg deg\tStands in for")
+	for _, in := range suite {
+		g := built[in.Name]
+		s := graph.ComputeStats(g)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\t%s\n",
+			in.Name, s.Vertices, s.Edges, s.MaxOutDeg, s.AvgDeg, in.Description)
+	}
+	return w.Flush()
+}
+
+// Table2 prints the running-time table (paper Table 2): for every input
+// and application, the sequential baseline, the framework at one worker,
+// and the framework at full parallelism.
+func Table2(cfg Config) error {
+	suite, built, err := buildSuite(cfg)
+	if err != nil {
+		return err
+	}
+	fullP := parallel.Procs()
+	fmt.Fprintf(cfg.Out, "Table 2: running times in seconds (median of %d; P=%d workers)\n", cfg.rounds(), fullP)
+	fmt.Fprintln(cfg.Out, "  serial = hand-written sequential baseline; (1)/(P) = Ligra with 1/P workers")
+	w := cfg.tab()
+	fmt.Fprintln(w, "Input\tApplication\tserial\t(1)\t(P)\toverhead(1)/serial")
+	for _, in := range suite {
+		base := built[in.Name]
+		for _, app := range Apps() {
+			g := graph.View(base)
+			if app.NeedsWeights {
+				g = WeightGraph(base)
+			}
+			tSeq := Measure(cfg.rounds(), func() { app.RunSeq(g) })
+
+			prev := parallel.SetProcs(1)
+			t1 := Measure(cfg.rounds(), func() { app.Run(g, core.Options{}) })
+			parallel.SetProcs(fullP)
+			tP := Measure(cfg.rounds(), func() { app.Run(g, core.Options{}) })
+			parallel.SetProcs(prev)
+
+			fmt.Fprintf(w, "%s\t%s\t%.4f\t%.4f\t%.4f\t%.2fx\n",
+				in.Name, app.Name,
+				tSeq.Median.Seconds(), t1.Median.Seconds(), tP.Median.Seconds(),
+				t1.Median.Seconds()/tSeq.Median.Seconds())
+		}
+	}
+	return w.Flush()
+}
+
+// Scalability prints per-application running times versus worker count on
+// the rMat input (the paper's log-log speedup figures).
+func Scalability(cfg Config) error {
+	suite := DefaultSuite(cfg.Scale)
+	in, err := FindInput(suite, "rMat")
+	if err != nil {
+		return err
+	}
+	base, err := in.Build()
+	if err != nil {
+		return err
+	}
+	maxP := cfg.MaxProcs
+	if maxP <= 0 {
+		maxP = 2 * parallel.Procs()
+	}
+	var procsList []int
+	for p := 1; p <= maxP; p *= 2 {
+		procsList = append(procsList, p)
+	}
+	fmt.Fprintf(cfg.Out, "Scalability on %s (seconds, median of %d; note: hardware exposes %d CPU(s) — on a single-CPU container the curve is flat by construction, the harness is what the figure regenerates)\n",
+		in.Name, cfg.rounds(), parallel.Procs())
+	w := cfg.tab()
+	header := "Application"
+	for _, p := range procsList {
+		header += fmt.Sprintf("\tT=%d", p)
+	}
+	fmt.Fprintln(w, header)
+	for _, app := range Apps() {
+		g := graph.View(base)
+		if app.NeedsWeights {
+			g = WeightGraph(base)
+		}
+		row := app.Name
+		for _, p := range procsList {
+			prev := parallel.SetProcs(p)
+			tm := Measure(cfg.rounds(), func() { app.Run(g, core.Options{}) })
+			parallel.SetProcs(prev)
+			row += fmt.Sprintf("\t%.4f", tm.Median.Seconds())
+		}
+		fmt.Fprintln(w, row)
+	}
+	return w.Flush()
+}
+
+// Frontier prints the per-round BFS frontier trace (the paper's motivation
+// figure for direction optimization): frontier size, outgoing edges, the
+// representation edgeMap chose, and the round time.
+func Frontier(cfg Config) error {
+	suite := DefaultSuite(cfg.Scale)
+	for _, name := range []string{"rMat", "3d-grid"} {
+		in, err := FindInput(suite, name)
+		if err != nil {
+			return err
+		}
+		g, err := in.Build()
+		if err != nil {
+			return err
+		}
+		tr := &core.Trace{}
+		algo.BFS(g, pickSource(g), core.Options{Trace: tr})
+		fmt.Fprintf(cfg.Out, "BFS frontier trace on %s (n=%d, m=%d, threshold=m/20=%d)\n",
+			in.Name, g.NumVertices(), g.NumEdges(), g.NumEdges()/core.DefaultThresholdDenominator)
+		w := cfg.tab()
+		fmt.Fprintln(w, "Round\t|Frontier|\tOutDegrees\tMode\tOutput\tTime")
+		for _, e := range tr.Entries {
+			mode := "sparse"
+			if e.Dense {
+				mode = "dense"
+			}
+			fmt.Fprintf(w, "%d\t%d\t%d\t%s\t%d\t%s\n",
+				e.Round, e.FrontierSize, e.OutDegrees, mode, e.OutputSize, e.Duration)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	return nil
+}
+
+// Threshold prints BFS and Components running times across edgeMap switch
+// thresholds (the paper's sensitivity analysis around the m/20 default),
+// including the sparse-only and dense-only extremes.
+func Threshold(cfg Config) error {
+	suite := DefaultSuite(cfg.Scale)
+	in, err := FindInput(suite, "rMat")
+	if err != nil {
+		return err
+	}
+	g, err := in.Build()
+	if err != nil {
+		return err
+	}
+	m := g.NumEdges()
+	denoms := []int64{1, 5, 10, 20, 40, 80, 160, 320, 1000}
+
+	type variant struct {
+		label string
+		opts  core.Options
+	}
+	variants := []variant{{"sparse-only", core.Options{Mode: core.ForceSparse}}}
+	for _, d := range denoms {
+		variants = append(variants, variant{
+			fmt.Sprintf("m/%d", d),
+			core.Options{Threshold: m / d},
+		})
+	}
+	variants = append(variants, variant{"dense-only", core.Options{Mode: core.ForceDense}})
+
+	apps := []struct {
+		name string
+		run  func(opts core.Options)
+	}{
+		{"BFS", func(o core.Options) { algo.BFS(g, pickSource(g), o) }},
+		{"Components", func(o core.Options) { algo.ConnectedComponents(g, o) }},
+	}
+	fmt.Fprintf(cfg.Out, "EdgeMap threshold sensitivity on %s (seconds, median of %d; paper default m/20)\n",
+		in.Name, cfg.rounds())
+	w := cfg.tab()
+	fmt.Fprintln(w, "Variant\tBFS\tComponents")
+	for _, v := range variants {
+		row := v.label
+		for _, a := range apps {
+			tm := Measure(cfg.rounds(), func() { a.run(v.opts) })
+			row += fmt.Sprintf("\t%.4f", tm.Median.Seconds())
+		}
+		fmt.Fprintln(w, row)
+	}
+	return w.Flush()
+}
+
+// DenseForward compares the read-based (pull) dense traversal against the
+// write-based dense-forward variant on dense-frontier applications.
+func DenseForward(cfg Config) error {
+	suite := DefaultSuite(cfg.Scale)
+	in, err := FindInput(suite, "rMat")
+	if err != nil {
+		return err
+	}
+	g, err := in.Build()
+	if err != nil {
+		return err
+	}
+	apps := []struct {
+		name string
+		run  func(opts core.Options)
+	}{
+		{"PageRank(1 iter)", func(o core.Options) {
+			algo.PageRank(g, algo.PageRankOptions{Damping: 0.85, MaxIterations: 1, EdgeMap: o})
+		}},
+		{"Components", func(o core.Options) { algo.ConnectedComponents(g, o) }},
+	}
+	fmt.Fprintf(cfg.Out, "Dense vs dense-forward on %s (seconds, median of %d)\n", in.Name, cfg.rounds())
+	w := cfg.tab()
+	fmt.Fprintln(w, "Application\tdense (pull)\tdense-forward (push)")
+	for _, a := range apps {
+		t1 := Measure(cfg.rounds(), func() { a.run(core.Options{Mode: core.ForceDense}) })
+		t2 := Measure(cfg.rounds(), func() {
+			a.run(core.Options{Mode: core.ForceDense, DenseForward: true})
+		})
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\n", a.name, t1.Median.Seconds(), t2.Median.Seconds())
+	}
+	return w.Flush()
+}
+
+// CompressAblation compares CSR against Ligra+ byte-compressed graphs in
+// space and running time (the Ligra+ extension experiment).
+func CompressAblation(cfg Config) error {
+	suite := DefaultSuite(cfg.Scale)
+	in, err := FindInput(suite, "rMat")
+	if err != nil {
+		return err
+	}
+	g, err := in.Build()
+	if err != nil {
+		return err
+	}
+	c, err := compress.Compress(g)
+	if err != nil {
+		return err
+	}
+	csrBytes := int64(g.NumVertices()+1)*8 + g.NumEdges()*4
+	fmt.Fprintf(cfg.Out, "Ligra+ compression on %s: CSR %d bytes -> compressed %d bytes (%.2fx smaller edge storage)\n",
+		in.Name, csrBytes, c.SizeBytes(), float64(csrBytes)/float64(c.SizeBytes()))
+	apps := []struct {
+		name string
+		run  func(v graph.View)
+	}{
+		{"BFS", func(v graph.View) { algo.BFS(v, pickSource(v), core.Options{}) }},
+		{"PageRank(1 iter)", func(v graph.View) {
+			algo.PageRank(v, algo.PageRankOptions{Damping: 0.85, MaxIterations: 1})
+		}},
+		{"Components", func(v graph.View) { algo.ConnectedComponents(v, core.Options{}) }},
+	}
+	w := cfg.tab()
+	fmt.Fprintln(w, "Application\tCSR\tcompressed\tslowdown")
+	for _, a := range apps {
+		t1 := Measure(cfg.rounds(), func() { a.run(g) })
+		t2 := Measure(cfg.rounds(), func() { a.run(c) })
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.2fx\n",
+			a.name, t1.Median.Seconds(), t2.Median.Seconds(),
+			t2.Median.Seconds()/t1.Median.Seconds())
+	}
+	return w.Flush()
+}
+
+// DedupAblation compares the two duplicate-removal strategies for sparse
+// frontiers — Ligra's CAS-claimed O(|V|) scratch array versus the
+// phase-concurrent hash set (Shun-Blelloch SPAA'14) — on the two
+// applications that need deduplication.
+func DedupAblation(cfg Config) error {
+	suite := DefaultSuite(cfg.Scale)
+	in, err := FindInput(suite, "rMat")
+	if err != nil {
+		return err
+	}
+	g, err := in.Build()
+	if err != nil {
+		return err
+	}
+	wg := WeightGraph(g)
+	apps := []struct {
+		name string
+		run  func(opts core.Options)
+	}{
+		// Components sets RemoveDuplicates internally; force sparse so
+		// the dedup path actually runs every round.
+		{"Components(sparse)", func(o core.Options) {
+			o.Mode = core.ForceSparse
+			algo.ConnectedComponents(g, o)
+		}},
+		{"BellmanFord(sparse)", func(o core.Options) {
+			o.Mode = core.ForceSparse
+			o.RemoveDuplicates = true
+			algo.BellmanFord(wg, pickSource(wg), o)
+		}},
+	}
+	fmt.Fprintf(cfg.Out, "Frontier deduplication on %s (seconds, median of %d)\n", in.Name, cfg.rounds())
+	w := cfg.tab()
+	fmt.Fprintln(w, "Application\tscratch (CAS array)\thash set")
+	for _, a := range apps {
+		t1 := Measure(cfg.rounds(), func() { a.run(core.Options{Dedup: core.DedupScratch}) })
+		t2 := Measure(cfg.rounds(), func() { a.run(core.Options{Dedup: core.DedupHash}) })
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\n", a.name, t1.Median.Seconds(), t2.Median.Seconds())
+	}
+	return w.Flush()
+}
+
+// BucketingAblation compares the scan-based k-core peeling against the
+// Julienne bucket structure, and delta-stepping against frontier
+// Bellman-Ford — the workloads that motivated the Julienne extension.
+func BucketingAblation(cfg Config) error {
+	suite := DefaultSuite(cfg.Scale)
+	in, err := FindInput(suite, "rMat")
+	if err != nil {
+		return err
+	}
+	g, err := in.Build()
+	if err != nil {
+		return err
+	}
+	wg := WeightGraph(g)
+	src := pickSource(wg)
+
+	fmt.Fprintf(cfg.Out, "Bucketing (Julienne extension) on %s (seconds, median of %d)\n", in.Name, cfg.rounds())
+	w := cfg.tab()
+	fmt.Fprintln(w, "Workload\tbaseline\tbucketed")
+	tk1 := Measure(cfg.rounds(), func() { algo.KCore(g, core.Options{}) })
+	tk2 := Measure(cfg.rounds(), func() { algo.KCoreJulienne(g, core.Options{}) })
+	fmt.Fprintf(w, "k-core (scan vs buckets)\t%.4f\t%.4f\n", tk1.Median.Seconds(), tk2.Median.Seconds())
+	tb1 := Measure(cfg.rounds(), func() { algo.BellmanFord(wg, src, core.Options{}) })
+	tb2 := Measure(cfg.rounds(), func() {
+		if _, err := algo.DeltaStepping(wg, src, 0, core.Options{}); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Fprintf(w, "SSSP on rMat (Bellman-Ford vs delta-stepping)\t%.4f\t%.4f\n",
+		tb1.Median.Seconds(), tb2.Median.Seconds())
+
+	// The delta-stepping regime the Julienne paper targets: a weighted
+	// high-diameter mesh with a wide weight range, where Bellman-Ford
+	// re-relaxes wavefront vertices many times.
+	gridIn, err := FindInput(suite, "3d-grid")
+	if err != nil {
+		return err
+	}
+	grid, err := gridIn.Build()
+	if err != nil {
+		return err
+	}
+	wgrid := grid.AddWeights(graph.HashWeight(1000))
+	gsrc := pickSource(wgrid)
+	tg1 := Measure(cfg.rounds(), func() { algo.BellmanFord(wgrid, gsrc, core.Options{}) })
+	tg2 := Measure(cfg.rounds(), func() {
+		if _, err := algo.DeltaStepping(wgrid, gsrc, 0, core.Options{}); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Fprintf(w, "SSSP on 3d-grid/w1000 (Bellman-Ford vs delta-stepping)\t%.4f\t%.4f\n",
+		tg1.Median.Seconds(), tg2.Median.Seconds())
+	return w.Flush()
+}
+
+// Experiments maps experiment IDs (as used by cmd/ligra-bench and
+// DESIGN.md's per-experiment index) to their runners.
+func Experiments() map[string]func(Config) error {
+	return map[string]func(Config) error{
+		"table1":       Table1,
+		"table2":       Table2,
+		"scalability":  Scalability,
+		"frontier":     Frontier,
+		"threshold":    Threshold,
+		"denseforward": DenseForward,
+		"compress":     CompressAblation,
+		"dedup":        DedupAblation,
+		"bucketing":    BucketingAblation,
+	}
+}
+
+// ExperimentOrder lists the IDs in presentation order.
+func ExperimentOrder() []string {
+	return []string{"table1", "table2", "scalability", "frontier", "threshold", "denseforward", "compress", "dedup", "bucketing"}
+}

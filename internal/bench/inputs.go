@@ -1,0 +1,82 @@
+// Package bench implements the experiment harness that regenerates the
+// tables and figures of the Ligra paper's evaluation (§6) at container
+// scale: the input-graph table (Table 1), the running-time table (Table
+// 2), per-application scalability curves, the BFS frontier/representation
+// trace, the edgeMap threshold sensitivity sweep, the dense vs
+// dense-forward comparison, and the Ligra+ compression ablation.
+//
+// Absolute numbers differ from the paper's 40-core machine; the harness
+// exists to reproduce the *shapes*: who wins, by what factor, and where
+// the crossovers fall. See EXPERIMENTS.md for paper-vs-measured notes.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"ligra/internal/gen"
+	"ligra/internal/graph"
+)
+
+// Input is one graph of the evaluation suite.
+type Input struct {
+	// Name as printed in tables (mirrors Table 1 naming).
+	Name string
+	// Description of what the paper used and what this input stands in
+	// for.
+	Description string
+	// Build constructs the graph (deterministic).
+	Build func() (*graph.Graph, error)
+}
+
+// DefaultSuite returns the Table 1 input family, parameterized by scale:
+// synthetic graphs have roughly 2^scale vertices. The paper used scale 24
+// (rMat) to 30 (Yahoo); the default container scale keeps every experiment
+// in seconds while preserving each family's structural character.
+func DefaultSuite(scale int) []Input {
+	if scale < 8 {
+		scale = 8
+	}
+	n := 1 << scale
+	side := int(math.Round(math.Cbrt(float64(n))))
+	return []Input{
+		{
+			Name:        "3d-grid",
+			Description: "side^3 torus mesh (paper: 10^7-vertex 3d-grid); high diameter, uniform degree 6",
+			Build:       func() (*graph.Graph, error) { return gen.Grid3D(side) },
+		},
+		{
+			Name:        "randLocal",
+			Description: "uniform-degree random graph with windowed locality (paper: 10^7 vertices, 10^8 edges)",
+			Build:       func() (*graph.Graph, error) { return gen.RandomLocal(n, 10, n/16, 17) },
+		},
+		{
+			Name:        "rMat",
+			Description: "PBBS-parameter R-MAT power-law graph (paper: 2^24 vertices, 10^8 edges)",
+			Build:       func() (*graph.Graph, error) { return gen.RMAT(scale, 16, gen.PBBSRMAT, 42) },
+		},
+		{
+			Name:        "twitter-sim",
+			Description: "Graph500-parameter R-MAT standing in for the Twitter graph (41.7M vertices, 1.47B edges): heavy skew, avg degree ~30",
+			Build:       func() (*graph.Graph, error) { return gen.RMAT(scale, 15, gen.Graph500RMAT, 7) },
+		},
+		{
+			Name:        "yahoo-sim",
+			Description: "sparser skewed R-MAT standing in for the Yahoo web graph (1.4B vertices, 6.6B edges, avg degree ~4.7)",
+			Build:       func() (*graph.Graph, error) { return gen.RMAT(scale+1, 3, gen.Graph500RMAT, 9) },
+		},
+	}
+}
+
+// FindInput returns the named input from the suite, or an error listing
+// the valid names.
+func FindInput(suite []Input, name string) (Input, error) {
+	names := make([]string, 0, len(suite))
+	for _, in := range suite {
+		if in.Name == name {
+			return in, nil
+		}
+		names = append(names, in.Name)
+	}
+	return Input{}, fmt.Errorf("bench: unknown graph %q (have %v)", name, names)
+}

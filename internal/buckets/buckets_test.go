@@ -1,0 +1,180 @@
+package buckets
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOrdering(t *testing.T) {
+	b := New(6, func(v uint32) int64 { return int64(v % 3) })
+	var order []int64
+	total := 0
+	for {
+		id, members, ok := b.Next()
+		if !ok {
+			break
+		}
+		order = append(order, id)
+		total += len(members)
+		for _, v := range members {
+			if int64(v%3) != id {
+				t.Fatalf("vertex %d in bucket %d", v, id)
+			}
+		}
+	}
+	if total != 6 {
+		t.Fatalf("returned %d vertices, want 6", total)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("bucket order %v", order)
+	}
+}
+
+func TestFinishedInitial(t *testing.T) {
+	b := New(5, func(v uint32) int64 {
+		if v%2 == 0 {
+			return Finished
+		}
+		return 7
+	})
+	if b.Remaining() != 2 {
+		t.Errorf("Remaining = %d, want 2", b.Remaining())
+	}
+	id, members, ok := b.Next()
+	if !ok || id != 7 || len(members) != 2 {
+		t.Fatalf("Next = %d %v %v", id, members, ok)
+	}
+	if _, _, ok := b.Next(); ok {
+		t.Error("Next returned vertices after exhaustion")
+	}
+	if b.Remaining() != 0 {
+		t.Error("Remaining nonzero after exhaustion")
+	}
+}
+
+func TestUpdateMovesVertex(t *testing.T) {
+	b := New(3, func(uint32) int64 { return 5 })
+	b.Update(1, 2) // move ahead of the others
+	id, members, ok := b.Next()
+	if !ok || id != 2 || len(members) != 1 || members[0] != 1 {
+		t.Fatalf("Next = %d %v", id, members)
+	}
+	id, members, ok = b.Next()
+	if !ok || id != 5 || len(members) != 2 {
+		t.Fatalf("second Next = %d %v", id, members)
+	}
+}
+
+func TestStaleEntriesSkipped(t *testing.T) {
+	b := New(2, func(uint32) int64 { return 1 })
+	// Move vertex 0 twice; the bucket-1 and bucket-3 entries are stale.
+	b.Update(0, 3)
+	b.Update(0, 9)
+	id, members, ok := b.Next()
+	if !ok || id != 1 || len(members) != 1 || members[0] != 1 {
+		t.Fatalf("bucket 1 = %v (id %d)", members, id)
+	}
+	// Bucket 3 exists in pending but is entirely stale.
+	id, members, ok = b.Next()
+	if !ok || id != 9 || len(members) != 1 || members[0] != 0 {
+		t.Fatalf("expected vertex 0 in bucket 9, got %v in %d", members, id)
+	}
+}
+
+func TestRetiredVertexIgnoresUpdatesViaNext(t *testing.T) {
+	b := New(1, func(uint32) int64 { return 0 })
+	_, members, ok := b.Next()
+	if !ok || len(members) != 1 {
+		t.Fatal("setup failed")
+	}
+	if b.Bucket(0) != Finished {
+		t.Error("popped vertex not retired")
+	}
+	// Re-inserting after retirement is allowed (delta-stepping never does
+	// this, but the structure supports it).
+	b.Update(0, 4)
+	_, members, ok = b.Next()
+	if !ok || len(members) != 1 {
+		t.Error("re-inserted vertex not returned")
+	}
+}
+
+func TestDuplicatePendingEntriesReturnedOnce(t *testing.T) {
+	b := New(1, func(uint32) int64 { return 2 })
+	b.Update(0, 2) // second pending entry for the same bucket
+	_, members, ok := b.Next()
+	if !ok || len(members) != 1 {
+		t.Fatalf("members = %v", members)
+	}
+	if _, _, ok := b.Next(); ok {
+		t.Error("duplicate entry returned twice")
+	}
+}
+
+func TestRandomizedDrainMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n = 500
+	model := make([]int64, n)
+	b := New(n, func(v uint32) int64 {
+		model[v] = int64(rng.Intn(20))
+		return model[v]
+	})
+	// Random moves.
+	for i := 0; i < 1000; i++ {
+		v := uint32(rng.Intn(n))
+		nb := int64(rng.Intn(20))
+		model[v] = nb
+		b.Update(v, nb)
+	}
+	// Drain: every vertex must come out exactly once, from its model
+	// bucket, in non-decreasing bucket order... note a vertex moved to a
+	// smaller bucket after that bucket was processed comes out later, so
+	// order is only guaranteed per Next call being the current minimum.
+	seen := make([]bool, n)
+	count := 0
+	for {
+		id, members, ok := b.Next()
+		if !ok {
+			break
+		}
+		for _, v := range members {
+			if seen[v] {
+				t.Fatalf("vertex %d returned twice", v)
+			}
+			seen[v] = true
+			count++
+			if model[v] != id {
+				t.Fatalf("vertex %d returned from bucket %d, model says %d", v, id, model[v])
+			}
+		}
+	}
+	if count != n {
+		t.Fatalf("drained %d vertices, want %d", count, n)
+	}
+}
+
+func TestUpdateMany(t *testing.T) {
+	b := New(6, func(uint32) int64 { return 10 })
+	b.UpdateMany([]uint32{0, 1, 2}, func(v uint32) int64 { return int64(v) })
+	id, members, ok := b.Next()
+	if !ok || id != 0 || len(members) != 1 || members[0] != 0 {
+		t.Fatalf("Next = %d %v", id, members)
+	}
+	if got := b.NonEmptyBuckets(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 10 {
+		t.Fatalf("NonEmptyBuckets = %v", got)
+	}
+}
+
+func TestUpdateManyToFinished(t *testing.T) {
+	b := New(3, func(uint32) int64 { return 5 })
+	b.UpdateMany([]uint32{0, 1, 2}, func(uint32) int64 { return Finished })
+	if _, _, ok := b.Next(); ok {
+		t.Error("retired vertices returned")
+	}
+	if b.Remaining() != 0 {
+		t.Error("Remaining nonzero")
+	}
+	if got := b.NonEmptyBuckets(); len(got) != 0 {
+		t.Errorf("NonEmptyBuckets = %v", got)
+	}
+}

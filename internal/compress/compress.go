@@ -1,0 +1,261 @@
+// Package compress implements byte-compressed graph storage after Ligra+
+// (Shun, Dhulipala, Blelloch, DCC 2015): each vertex's sorted adjacency
+// list is difference-encoded — the first target as a signed (zig-zag)
+// delta from the vertex ID, subsequent targets as gaps from their
+// predecessor — and packed with LEB128 variable-length bytes. Weights, if
+// present, are zig-zag varints interleaved after each target.
+//
+// CompressedGraph implements graph.View, so every algorithm and edgeMap
+// traversal runs unmodified on compressed graphs; the ablation-compress
+// experiment measures the decode overhead against the CSR representation.
+package compress
+
+import (
+	"errors"
+	"fmt"
+
+	"ligra/internal/graph"
+	"ligra/internal/parallel"
+)
+
+// CompressedGraph is a byte-coded adjacency representation of a graph.
+// Immutable after construction; safe for concurrent traversal.
+type CompressedGraph struct {
+	n int
+	m int64
+
+	outOffsets []int64 // byte offset of vertex v's out-list (len n+1)
+	outDeg     []int32 // out-degrees (decode needs the count)
+	outData    []byte
+
+	inOffsets []int64
+	inDeg     []int32
+	inData    []byte
+
+	weighted  bool
+	symmetric bool
+}
+
+var _ graph.View = (*CompressedGraph)(nil)
+
+// Compress encodes g. Adjacency rows must be sorted by target ID (graphs
+// built by graph.FromEdges are); rows with unsorted targets are rejected
+// because gap encoding would be lossy.
+func Compress(g *graph.Graph) (*CompressedGraph, error) {
+	n := g.NumVertices()
+	c := &CompressedGraph{
+		n:         n,
+		m:         g.NumEdges(),
+		weighted:  g.Weighted(),
+		symmetric: g.Symmetric(),
+	}
+	var err error
+	c.outOffsets, c.outDeg, c.outData, err = encodeSide(n, g.Weighted(), func(v uint32, fn func(uint32, int32) bool) {
+		g.OutNeighbors(v, fn)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !g.Symmetric() {
+		c.inOffsets, c.inDeg, c.inData, err = encodeSide(n, g.Weighted(), func(v uint32, fn func(uint32, int32) bool) {
+			g.InNeighbors(v, fn)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// encodeSide builds the byte arrays for one edge direction.
+func encodeSide(n int, weighted bool, iterate func(v uint32, fn func(uint32, int32) bool)) ([]int64, []int32, []byte, error) {
+	offsets := make([]int64, n+1)
+	degs := make([]int32, n)
+	// First pass: encode each row independently into per-vertex buffers
+	// (parallel), then concatenate with a scan.
+	rows := make([][]byte, n)
+	var encErr error
+	parallel.For(n, func(i int) {
+		v := uint32(i)
+		var buf []byte
+		prev := uint32(0)
+		first := true
+		deg := int32(0)
+		iterate(v, func(d uint32, w int32) bool {
+			if first {
+				buf = appendZigzag(buf, int64(d)-int64(v))
+				first = false
+			} else {
+				if d < prev {
+					encErr = fmt.Errorf("compress: unsorted adjacency row at vertex %d", v)
+					return false
+				}
+				buf = appendUvarint(buf, uint64(d-prev))
+			}
+			prev = d
+			if weighted {
+				buf = appendZigzag(buf, int64(w))
+			}
+			deg++
+			return true
+		})
+		rows[i] = buf
+		degs[i] = deg
+	})
+	if encErr != nil {
+		return nil, nil, nil, encErr
+	}
+	lens := make([]int64, n)
+	parallel.For(n, func(i int) { lens[i] = int64(len(rows[i])) })
+	total := parallel.ScanExclusive(lens, offsets[:n])
+	offsets[n] = total
+	data := make([]byte, total)
+	parallel.For(n, func(i int) {
+		copy(data[offsets[i]:], rows[i])
+	})
+	return offsets, degs, data, nil
+}
+
+// NumVertices returns |V|.
+func (c *CompressedGraph) NumVertices() int { return c.n }
+
+// NumEdges returns the number of directed edges.
+func (c *CompressedGraph) NumEdges() int64 { return c.m }
+
+// Weighted reports whether edges carry weights.
+func (c *CompressedGraph) Weighted() bool { return c.weighted }
+
+// Symmetric reports whether the graph is undirected.
+func (c *CompressedGraph) Symmetric() bool { return c.symmetric }
+
+// OutDegree returns the out-degree of v.
+func (c *CompressedGraph) OutDegree(v uint32) int { return int(c.outDeg[v]) }
+
+// InDegree returns the in-degree of v.
+func (c *CompressedGraph) InDegree(v uint32) int {
+	if c.symmetric {
+		return int(c.outDeg[v])
+	}
+	return int(c.inDeg[v])
+}
+
+// OutNeighbors decodes and iterates v's out-edges in sorted target order.
+func (c *CompressedGraph) OutNeighbors(v uint32, fn func(d uint32, w int32) bool) {
+	c.decode(v, c.outOffsets, c.outDeg, c.outData, fn)
+}
+
+// InNeighbors decodes and iterates v's in-edges.
+func (c *CompressedGraph) InNeighbors(v uint32, fn func(s uint32, w int32) bool) {
+	if c.symmetric {
+		c.OutNeighbors(v, fn)
+		return
+	}
+	c.decode(v, c.inOffsets, c.inDeg, c.inData, fn)
+}
+
+func (c *CompressedGraph) decode(v uint32, offsets []int64, degs []int32, data []byte, fn func(uint32, int32) bool) {
+	deg := degs[v]
+	if deg == 0 {
+		return
+	}
+	p := data[offsets[v]:offsets[v+1]]
+	// First target: signed delta from v.
+	delta, p := readZigzag(p)
+	d := uint32(int64(v) + delta)
+	w := int32(1)
+	if c.weighted {
+		var wv int64
+		wv, p = readZigzag(p)
+		w = int32(wv)
+	}
+	if !fn(d, w) {
+		return
+	}
+	for i := int32(1); i < deg; i++ {
+		var gap uint64
+		gap, p = readUvarint(p)
+		d += uint32(gap)
+		if c.weighted {
+			var wv int64
+			wv, p = readZigzag(p)
+			w = int32(wv)
+		}
+		if !fn(d, w) {
+			return
+		}
+	}
+}
+
+// SizeBytes returns the byte footprint of the compressed edge arrays plus
+// per-vertex metadata (offsets and degrees).
+func (c *CompressedGraph) SizeBytes() int64 {
+	meta := int64(len(c.outOffsets))*8 + int64(len(c.outDeg))*4 +
+		int64(len(c.inOffsets))*8 + int64(len(c.inDeg))*4
+	return meta + int64(len(c.outData)) + int64(len(c.inData))
+}
+
+// Decompress reconstructs a CSR graph from the compressed form, used for
+// round-trip verification.
+func (c *CompressedGraph) Decompress() (*graph.Graph, error) {
+	offsets := make([]int64, c.n+1)
+	var acc int64
+	for v := 0; v < c.n; v++ {
+		offsets[v] = acc
+		acc += int64(c.outDeg[v])
+	}
+	offsets[c.n] = acc
+	if acc != c.m {
+		return nil, errors.New("compress: degree sum does not match edge count")
+	}
+	edges := make([]uint32, c.m)
+	var weights []int32
+	if c.weighted {
+		weights = make([]int32, c.m)
+	}
+	parallel.For(c.n, func(i int) {
+		k := offsets[i]
+		c.OutNeighbors(uint32(i), func(d uint32, w int32) bool {
+			edges[k] = d
+			if weights != nil {
+				weights[k] = w
+			}
+			k++
+			return true
+		})
+	})
+	return graph.FromCSR(offsets, edges, weights, c.symmetric)
+}
+
+// appendUvarint appends x in LEB128.
+func appendUvarint(buf []byte, x uint64) []byte {
+	for x >= 0x80 {
+		buf = append(buf, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(buf, byte(x))
+}
+
+// readUvarint decodes a LEB128 value, returning the rest of the buffer.
+func readUvarint(p []byte) (uint64, []byte) {
+	var x uint64
+	var shift uint
+	for i, b := range p {
+		if b < 0x80 {
+			return x | uint64(b)<<shift, p[i+1:]
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	panic("compress: truncated varint")
+}
+
+// appendZigzag appends a signed value using zig-zag + LEB128.
+func appendZigzag(buf []byte, x int64) []byte {
+	return appendUvarint(buf, uint64(x<<1)^uint64(x>>63))
+}
+
+// readZigzag decodes a zig-zag varint.
+func readZigzag(p []byte) (int64, []byte) {
+	u, rest := readUvarint(p)
+	return int64(u>>1) ^ -int64(u&1), rest
+}

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ligra/internal/bitset"
+	"ligra/internal/graph"
+	"ligra/internal/hashtable"
+	"ligra/internal/parallel"
+)
+
+// EdgeFuncs bundles the per-edge application logic passed to EdgeMap,
+// corresponding to Ligra's F (update / updateAtomic) and C (cond):
+//
+//   - UpdateAtomic(s, d, w) is applied to edge (s, d) when multiple sources
+//     may update the same destination concurrently (sparse push and dense-
+//     forward traversals). It must use atomic primitives and return true if
+//     d should join the output frontier. Exactly-once membership is the
+//     application's responsibility (e.g. CAS or priority-update "winner"
+//     semantics); otherwise set RemoveDuplicates.
+//   - Update(s, d, w) is the cheaper non-atomic variant used by dense
+//     (pull) traversals, where the framework guarantees a single writer per
+//     destination. If nil, UpdateAtomic is used everywhere.
+//   - Cond(d) gates destinations: edges into d with Cond(d) false are
+//     skipped, and a dense traversal stops scanning d's in-edges as soon as
+//     Cond(d) turns false (Ligra's early exit). Nil means "always true".
+//
+// For unweighted graphs w is 1.
+type EdgeFuncs struct {
+	Update       func(s, d uint32, w int32) bool
+	UpdateAtomic func(s, d uint32, w int32) bool
+	Cond         func(d uint32) bool
+}
+
+// Mode forces a traversal strategy, overriding the size heuristic.
+type Mode int
+
+const (
+	// Auto applies the |U| + outDegrees(U) > threshold heuristic.
+	Auto Mode = iota
+	// ForceSparse always uses the sparse (push) traversal.
+	ForceSparse
+	// ForceDense always uses the dense (pull) traversal.
+	ForceDense
+)
+
+// Options tunes a single EdgeMap call.
+type Options struct {
+	// Mode selects Auto (default) or a forced representation.
+	Mode Mode
+	// Threshold overrides the dense-switch threshold; 0 selects the
+	// paper's default of |E|/20.
+	Threshold int64
+	// DenseForward selects the write-based dense traversal (loop over
+	// sources, push over out-edges) instead of the default read-based
+	// (pull) one when the dense representation is chosen.
+	DenseForward bool
+	// RemoveDuplicates deduplicates the sparse output frontier. Needed
+	// when UpdateAtomic may return true more than once per destination.
+	RemoveDuplicates bool
+	// Dedup selects the duplicate-removal strategy when RemoveDuplicates
+	// is set (see DedupStrategy).
+	Dedup DedupStrategy
+	// NoOutput skips constructing the output frontier (Ligra's no_output
+	// flag); EdgeMap returns an empty subset.
+	NoOutput bool
+	// Trace, when non-nil, records one entry per EdgeMap call for the
+	// frontier-trace experiments.
+	Trace *Trace
+}
+
+// DefaultThresholdDenominator is the paper's frontier-size switch constant:
+// edgeMap goes dense when |U| + outDegrees(U) > |E|/20.
+const DefaultThresholdDenominator = 20
+
+// TraceEntry records one EdgeMap invocation for the fig-frontier
+// experiment.
+type TraceEntry struct {
+	Round        int
+	FrontierSize int
+	OutDegrees   int64
+	Dense        bool
+	DenseForward bool
+	OutputSize   int
+	Duration     time.Duration
+}
+
+// Trace accumulates TraceEntries across EdgeMap calls.
+type Trace struct {
+	Entries []TraceEntry
+}
+
+// scratchPool recycles the per-call deduplication arrays so iterative
+// algorithms (e.g. Bellman-Ford's O(diameter) rounds) do not allocate an
+// O(n) slice per round. Invariant: every pooled slice is all-None.
+var scratchPool sync.Pool
+
+func getScratch(n int) []uint32 {
+	if s, ok := scratchPool.Get().([]uint32); ok && len(s) >= n {
+		return s
+	}
+	s := make([]uint32, n)
+	for i := range s {
+		s[i] = None
+	}
+	return s
+}
+
+func putScratch(s []uint32) { scratchPool.Put(s) }
+
+// EdgeMap applies f to every edge (s, d) with s in u and Cond(d) true, and
+// returns the subset of destinations for which an update returned true.
+// The traversal is sparse (push over out-edges of u) or dense (pull over
+// in-edges of all vertices) according to the frontier-size heuristic; see
+// Options to force a mode or tune the threshold.
+func EdgeMap(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *VertexSubset {
+	n := g.NumVertices()
+	if u.UniverseSize() != n {
+		panic("core: EdgeMap frontier universe does not match graph")
+	}
+	start := time.Now()
+	if u.IsEmpty() {
+		out := NewEmpty(n)
+		traceRecord(opts.Trace, u, 0, false, false, out, start)
+		return out
+	}
+
+	outDeg := frontierOutDegrees(g, u)
+	threshold := opts.Threshold
+	if threshold <= 0 {
+		threshold = g.NumEdges() / DefaultThresholdDenominator
+	}
+	dense := int64(u.Size())+outDeg > threshold
+	switch opts.Mode {
+	case ForceSparse:
+		dense = false
+	case ForceDense:
+		dense = true
+	}
+
+	var out *VertexSubset
+	if dense {
+		if opts.DenseForward {
+			out = edgeMapDenseForward(g, u, f, opts)
+		} else {
+			out = edgeMapDense(g, u, f, opts)
+		}
+	} else {
+		out = edgeMapSparse(g, u, f, opts)
+	}
+	traceRecord(opts.Trace, u, outDeg, dense, dense && opts.DenseForward, out, start)
+	return out
+}
+
+func traceRecord(t *Trace, u *VertexSubset, outDeg int64, dense, fwd bool, out *VertexSubset, start time.Time) {
+	if t == nil {
+		return
+	}
+	t.Entries = append(t.Entries, TraceEntry{
+		Round:        len(t.Entries),
+		FrontierSize: u.Size(),
+		OutDegrees:   outDeg,
+		Dense:        dense,
+		DenseForward: fwd,
+		OutputSize:   out.Size(),
+		Duration:     time.Since(start),
+	})
+}
+
+// frontierOutDegrees computes the total out-degree of the frontier, the
+// quantity the paper's switch heuristic compares against |E|/20.
+func frontierOutDegrees(g graph.View, u *VertexSubset) int64 {
+	if u.HasSparse() {
+		ids := u.ToSparse()
+		return parallel.SumFunc(len(ids), func(i int) int64 {
+			return int64(g.OutDegree(ids[i]))
+		})
+	}
+	d := u.ToDense()
+	return parallel.SumFunc(u.UniverseSize(), func(i int) int64 {
+		if d.Get(i) {
+			return int64(g.OutDegree(uint32(i)))
+		}
+		return 0
+	})
+}
+
+// edgeMapSparse is Ligra's edgeMapSparse: push over the out-edges of the
+// frontier vertices, collecting successful targets via prefix-sum offsets
+// and a pack. CSR graphs take a raw-slice fast path that avoids the
+// per-edge iterator callback.
+func edgeMapSparse(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *VertexSubset {
+	n := g.NumVertices()
+	ids := u.ToSparse()
+	update := f.UpdateAtomic
+	if update == nil {
+		update = f.Update
+	}
+	cond := f.Cond
+	csr, _ := g.(*graph.Graph)
+
+	if opts.NoOutput {
+		parallel.For(len(ids), func(i int) {
+			s := ids[i]
+			if csr != nil {
+				row, wts := csr.OutEdgesSlice(s)
+				for j, d := range row {
+					if cond == nil || cond(d) {
+						w := int32(1)
+						if wts != nil {
+							w = wts[j]
+						}
+						update(s, d, w)
+					}
+				}
+				return
+			}
+			g.OutNeighbors(s, func(d uint32, w int32) bool {
+				if cond == nil || cond(d) {
+					update(s, d, w)
+				}
+				return true
+			})
+		})
+		return NewEmpty(n)
+	}
+
+	offsets, total := parallel.ScanFunc(len(ids), func(i int) int64 {
+		return int64(g.OutDegree(ids[i]))
+	})
+	slots := make([]uint32, total)
+	parallel.For(len(ids), func(i int) {
+		s := ids[i]
+		k := offsets[i]
+		if csr != nil {
+			row, wts := csr.OutEdgesSlice(s)
+			for j, d := range row {
+				w := int32(1)
+				if wts != nil {
+					w = wts[j]
+				}
+				if (cond == nil || cond(d)) && update(s, d, w) {
+					slots[k] = d
+				} else {
+					slots[k] = None
+				}
+				k++
+			}
+			return
+		}
+		g.OutNeighbors(s, func(d uint32, w int32) bool {
+			if (cond == nil || cond(d)) && update(s, d, w) {
+				slots[k] = d
+			} else {
+				slots[k] = None
+			}
+			k++
+			return true
+		})
+	})
+	outIDs := parallel.Filter(slots, func(d uint32) bool { return d != None })
+	if opts.RemoveDuplicates && len(outIDs) > 1 {
+		if opts.Dedup == DedupHash {
+			outIDs = removeDuplicatesHash(outIDs)
+		} else {
+			outIDs = removeDuplicates(n, outIDs)
+		}
+	}
+	return NewSparse(n, outIDs)
+}
+
+// DedupStrategy selects how RemoveDuplicates deduplicates the sparse
+// output frontier.
+type DedupStrategy int
+
+const (
+	// DedupScratch (default) claims each ID in a pooled O(|V|) array via
+	// CAS, Ligra's remDuplicates.
+	DedupScratch DedupStrategy = iota
+	// DedupHash inserts IDs into a phase-concurrent hash set sized to the
+	// output (Shun-Blelloch SPAA'14); O(frontier) space instead of O(|V|),
+	// at the cost of hashing. Output order is the deterministic table
+	// order rather than the edge order.
+	DedupHash
+)
+
+// removeDuplicatesHash deduplicates via a phase-concurrent hash set.
+func removeDuplicatesHash(ids []uint32) []uint32 {
+	set := hashtable.NewSet(len(ids))
+	parallel.For(len(ids), func(i int) {
+		set.Insert(ids[i])
+	})
+	return set.Elements()
+}
+
+// removeDuplicates keeps one occurrence of each vertex ID using a pooled
+// CAS-claimed scratch array (Ligra's remDuplicates).
+func removeDuplicates(n int, ids []uint32) []uint32 {
+	scratch := getScratch(n)
+	parallel.For(len(ids), func(i int) {
+		d := ids[i]
+		// Claim d with the smallest index; ties broken by writeMin.
+		for {
+			old := atomic.LoadUint32(&scratch[d])
+			if old <= uint32(i) {
+				return
+			}
+			if atomic.CompareAndSwapUint32(&scratch[d], old, uint32(i)) {
+				return
+			}
+		}
+	})
+	out := parallel.FilterIndex(ids, func(i int, d uint32) bool {
+		return scratch[d] == uint32(i)
+	})
+	// Restore the all-None invariant before pooling.
+	parallel.For(len(ids), func(i int) {
+		scratch[ids[i]] = None
+	})
+	putScratch(scratch)
+	return out
+}
+
+// edgeMapDense is Ligra's edgeMapDense: for every vertex d whose Cond
+// holds, pull over its in-edges looking for frontier sources, stopping
+// early once Cond(d) becomes false. Update need not be atomic because d is
+// processed by exactly one goroutine.
+func edgeMapDense(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *VertexSubset {
+	n := g.NumVertices()
+	ud := u.ToDense()
+	update := f.Update
+	if update == nil {
+		update = f.UpdateAtomic
+	}
+	cond := f.Cond
+
+	csr, _ := g.(*graph.Graph)
+	var out *bitset.Bitset
+	if !opts.NoOutput {
+		out = bitset.New(n)
+	}
+	parallel.For(n, func(di int) {
+		d := uint32(di)
+		if cond != nil && !cond(d) {
+			return
+		}
+		if csr != nil {
+			row, wts := csr.InEdgesSlice(d)
+			for j, s := range row {
+				if !ud.Get(int(s)) {
+					continue
+				}
+				w := int32(1)
+				if wts != nil {
+					w = wts[j]
+				}
+				if update(s, d, w) && out != nil {
+					out.SetAtomic(di)
+				}
+				if cond != nil && !cond(d) {
+					return // early exit: d needs no more updates
+				}
+			}
+			return
+		}
+		g.InNeighbors(d, func(s uint32, w int32) bool {
+			if ud.Get(int(s)) {
+				if update(s, d, w) && out != nil {
+					out.SetAtomic(di)
+				}
+				if cond != nil && !cond(d) {
+					return false // early exit: d needs no more updates
+				}
+			}
+			return true
+		})
+	})
+	if out == nil {
+		return NewEmpty(n)
+	}
+	return NewDense(n, out)
+}
+
+// edgeMapDenseForward is Ligra's write-based dense variant: loop over all
+// vertices, and for frontier members push over out-edges with atomic
+// updates. It avoids the transpose (useful for graphs stored only forward)
+// at the cost of atomics and no early exit.
+func edgeMapDenseForward(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *VertexSubset {
+	n := g.NumVertices()
+	ud := u.ToDense()
+	update := f.UpdateAtomic
+	if update == nil {
+		update = f.Update
+	}
+	cond := f.Cond
+
+	csr, _ := g.(*graph.Graph)
+	var out *bitset.Bitset
+	if !opts.NoOutput {
+		out = bitset.New(n)
+	}
+	parallel.For(n, func(si int) {
+		if !ud.Get(si) {
+			return
+		}
+		s := uint32(si)
+		if csr != nil {
+			row, wts := csr.OutEdgesSlice(s)
+			for j, d := range row {
+				w := int32(1)
+				if wts != nil {
+					w = wts[j]
+				}
+				if (cond == nil || cond(d)) && update(s, d, w) && out != nil {
+					out.SetAtomic(int(d))
+				}
+			}
+			return
+		}
+		g.OutNeighbors(s, func(d uint32, w int32) bool {
+			if (cond == nil || cond(d)) && update(s, d, w) && out != nil {
+				out.SetAtomic(int(d))
+			}
+			return true
+		})
+	})
+	if out == nil {
+		return NewEmpty(n)
+	}
+	return NewDense(n, out)
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"ligra/internal/bitset"
+	"ligra/internal/parallel"
+)
+
+// VertexMap applies fn to every vertex in u, in parallel (Ligra's vertexMap
+// without output).
+func VertexMap(u *VertexSubset, fn func(v uint32)) {
+	u.ForEach(fn)
+}
+
+// VertexFilter applies pred to every vertex of u and returns the subset of
+// vertices for which it returned true (Ligra's vertexMap returning a
+// vertexSubset). The output representation matches the input's.
+func VertexFilter(u *VertexSubset, pred func(v uint32) bool) *VertexSubset {
+	n := u.UniverseSize()
+	if u.HasSparse() {
+		ids := u.ToSparse()
+		out := parallel.Filter(ids, func(v uint32) bool { return pred(v) })
+		return NewSparse(n, out)
+	}
+	ud := u.ToDense()
+	out := bitset.New(n)
+	count := parallel.CountFunc(n, func(i int) bool {
+		if ud.Get(i) && pred(uint32(i)) {
+			out.SetAtomic(i)
+			return true
+		}
+		return false
+	})
+	return &VertexSubset{n: n, size: count, dense: out}
+}
+
+// Union returns the set union of a and b (over the same universe).
+func Union(a, b *VertexSubset) *VertexSubset {
+	if a.UniverseSize() != b.UniverseSize() {
+		panic("core: Union universe mismatch")
+	}
+	n := a.UniverseSize()
+	ad, bd := a.ToDense(), b.ToDense()
+	out := bitset.New(n)
+	count := parallel.CountFunc(n, func(i int) bool {
+		if ad.Get(i) || bd.Get(i) {
+			out.SetAtomic(i)
+			return true
+		}
+		return false
+	})
+	return &VertexSubset{n: n, size: count, dense: out}
+}
+
+// Intersect returns the set intersection of a and b.
+func Intersect(a, b *VertexSubset) *VertexSubset {
+	if a.UniverseSize() != b.UniverseSize() {
+		panic("core: Intersect universe mismatch")
+	}
+	n := a.UniverseSize()
+	ad, bd := a.ToDense(), b.ToDense()
+	out := bitset.New(n)
+	count := parallel.CountFunc(n, func(i int) bool {
+		if ad.Get(i) && bd.Get(i) {
+			out.SetAtomic(i)
+			return true
+		}
+		return false
+	})
+	return &VertexSubset{n: n, size: count, dense: out}
+}
+
+// Difference returns a \ b.
+func Difference(a, b *VertexSubset) *VertexSubset {
+	if a.UniverseSize() != b.UniverseSize() {
+		panic("core: Difference universe mismatch")
+	}
+	n := a.UniverseSize()
+	ad, bd := a.ToDense(), b.ToDense()
+	out := bitset.New(n)
+	count := parallel.CountFunc(n, func(i int) bool {
+		if ad.Get(i) && !bd.Get(i) {
+			out.SetAtomic(i)
+			return true
+		}
+		return false
+	})
+	return &VertexSubset{n: n, size: count, dense: out}
+}

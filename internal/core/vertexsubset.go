@@ -1,0 +1,184 @@
+// Package core implements Ligra's programming interface — the vertexSubset
+// data type and the edgeMap / vertexMap operators (Shun & Blelloch, PPoPP
+// 2013, §4). This is the paper's primary contribution: a frontier-based
+// abstraction whose traversal operator transparently switches between a
+// sparse (push, source-driven) and a dense (pull, destination-driven)
+// per-iteration representation based on frontier size, generalizing
+// direction-optimizing BFS to arbitrary vertex-subset computations.
+package core
+
+import (
+	"ligra/internal/bitset"
+	"ligra/internal/parallel"
+)
+
+// None is the sentinel vertex ID (2^32-1), used to mark empty slots while
+// constructing sparse frontiers and as the "no parent / not found" value in
+// applications.
+const None = ^uint32(0)
+
+// VertexSubset is a set of vertex IDs drawn from [0, n). It maintains up to
+// two physical representations — a sparse ID array and a dense bit vector —
+// converting lazily and caching the result, mirroring Ligra's vertexSubset
+// with its sparse/dense duality. The exact size is always tracked.
+//
+// VertexSubsets are safe for concurrent reads; conversions (ToSparse,
+// ToDense) mutate the cache and must not race with readers.
+type VertexSubset struct {
+	n      int
+	size   int
+	sparse []uint32       // nil when unknown
+	dense  *bitset.Bitset // nil when unknown
+}
+
+// NewEmpty returns the empty subset over n vertices.
+func NewEmpty(n int) *VertexSubset {
+	return &VertexSubset{n: n, size: 0, sparse: []uint32{}}
+}
+
+// NewSingle returns the subset {v} over n vertices.
+func NewSingle(n int, v uint32) *VertexSubset {
+	if int(v) >= n {
+		panic("core: vertex out of range")
+	}
+	return &VertexSubset{n: n, size: 1, sparse: []uint32{v}}
+}
+
+// NewSparse wraps a sparse ID array (takes ownership; IDs must be unique
+// and < n, which is the caller's responsibility as in Ligra). A nil slice
+// is a valid empty subset.
+func NewSparse(n int, ids []uint32) *VertexSubset {
+	if ids == nil {
+		ids = []uint32{}
+	}
+	return &VertexSubset{n: n, size: len(ids), sparse: ids}
+}
+
+// NewDense wraps a dense bit vector of length n (takes ownership).
+func NewDense(n int, bits *bitset.Bitset) *VertexSubset {
+	if bits.Len() != n {
+		panic("core: dense bit vector length mismatch")
+	}
+	return &VertexSubset{n: n, size: bits.Count(), dense: bits}
+}
+
+// NewAll returns the subset containing every vertex in [0, n).
+func NewAll(n int) *VertexSubset {
+	b := bitset.New(n)
+	parallel.ForRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b.Set(i)
+		}
+	})
+	return &VertexSubset{n: n, size: n, dense: b}
+}
+
+// NewFromFunc returns the subset of vertices v in [0, n) with pred(v) true.
+func NewFromFunc(n int, pred func(v uint32) bool) *VertexSubset {
+	b := bitset.New(n)
+	count := parallel.CountFunc(n, func(i int) bool {
+		if pred(uint32(i)) {
+			b.SetAtomic(i)
+			return true
+		}
+		return false
+	})
+	return &VertexSubset{n: n, size: count, dense: b}
+}
+
+// UniverseSize returns n, the size of the vertex ID space.
+func (vs *VertexSubset) UniverseSize() int { return vs.n }
+
+// Size returns the number of vertices in the subset.
+func (vs *VertexSubset) Size() int { return vs.size }
+
+// IsEmpty reports whether the subset is empty.
+func (vs *VertexSubset) IsEmpty() bool { return vs.size == 0 }
+
+// HasSparse reports whether the sparse representation is materialized.
+func (vs *VertexSubset) HasSparse() bool { return vs.sparse != nil }
+
+// HasDense reports whether the dense representation is materialized.
+func (vs *VertexSubset) HasDense() bool { return vs.dense != nil }
+
+// ToSparse materializes (and caches) the sparse ID array. The returned
+// slice must not be mutated.
+func (vs *VertexSubset) ToSparse() []uint32 {
+	if vs.sparse == nil {
+		ids := parallel.PackIndex[uint32](vs.n, func(i int) bool {
+			return vs.dense.Get(i)
+		})
+		if ids == nil {
+			ids = []uint32{}
+		}
+		vs.sparse = ids
+	}
+	return vs.sparse
+}
+
+// ToDense materializes (and caches) the dense bit vector. The returned
+// bitset must not be mutated.
+func (vs *VertexSubset) ToDense() *bitset.Bitset {
+	if vs.dense == nil {
+		b := bitset.New(vs.n)
+		ids := vs.sparse
+		parallel.For(len(ids), func(i int) {
+			b.SetAtomic(int(ids[i]))
+		})
+		vs.dense = b
+	}
+	return vs.dense
+}
+
+// Contains reports whether v is in the subset.
+func (vs *VertexSubset) Contains(v uint32) bool {
+	if vs.dense != nil {
+		return vs.dense.Get(int(v))
+	}
+	for _, x := range vs.sparse {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for every member vertex, in parallel.
+func (vs *VertexSubset) ForEach(fn func(v uint32)) {
+	if vs.sparse != nil {
+		ids := vs.sparse
+		parallel.For(len(ids), func(i int) { fn(ids[i]) })
+		return
+	}
+	parallel.For(vs.n, func(i int) {
+		if vs.dense.Get(i) {
+			fn(uint32(i))
+		}
+	})
+}
+
+// ForEachSeq calls fn for every member vertex sequentially in increasing
+// order when dense (or insertion order when sparse).
+func (vs *VertexSubset) ForEachSeq(fn func(v uint32)) {
+	if vs.sparse != nil {
+		for _, v := range vs.sparse {
+			fn(v)
+		}
+		return
+	}
+	vs.dense.ForEachSet(func(i int) { fn(uint32(i)) })
+}
+
+// Clone returns an independent copy of the subset.
+func (vs *VertexSubset) Clone() *VertexSubset {
+	c := &VertexSubset{n: vs.n, size: vs.size}
+	if vs.sparse != nil {
+		c.sparse = append([]uint32(nil), vs.sparse...)
+	}
+	if vs.dense != nil {
+		b := bitset.New(vs.n)
+		b.CopyFrom(vs.dense)
+		c.dense = b
+	}
+	return c
+}

@@ -1,0 +1,62 @@
+// Package gen provides deterministic synthetic graph generators for the
+// input families used in the Ligra evaluation (Table 1): rMAT power-law
+// graphs, random graphs with locality, and 3-D grids, plus Erdős–Rényi and
+// a set of small structured graphs (paths, stars, trees, ...) used in
+// tests. All generators are deterministic functions of their seed and are
+// parallelism-oblivious: the i-th edge depends only on (seed, i), so the
+// same graph is produced regardless of worker count.
+package gen
+
+// mix64 is the splitmix64 finalizer, a high-quality 64-bit mixing function.
+// Used as a counter-based RNG: hashing (seed, counter) yields independent
+// uniform words without any sequential state, which is what makes the
+// generators deterministic under parallel execution.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// hash2 hashes a (seed, i) pair to a uniform 64-bit word.
+func hash2(seed, i uint64) uint64 {
+	return mix64(seed ^ mix64(i+0x632BE59BD9B4E019))
+}
+
+// hash3 hashes a (seed, i, j) triple to a uniform 64-bit word.
+func hash3(seed, i, j uint64) uint64 {
+	return mix64(hash2(seed, i) ^ mix64(j+0x9E6C63D0876A9A47))
+}
+
+// uniform01 converts a hash word to a float64 in [0, 1).
+func uniform01(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// uniformN maps a hash word to an integer in [0, n).
+func uniformN(h uint64, n uint64) uint64 {
+	// 128-bit multiply-shift reduction (Lemire): unbiased enough for
+	// synthetic workloads while avoiding modulo bias at large n.
+	hi, _ := mul64(h, n)
+	return hi
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a0 * b0
+	lo = t & mask32
+	c := t >> 32
+	t = a1*b0 + c
+	c = t >> 32
+	m := t & mask32
+	t = a0*b1 + m
+	lo |= (t & mask32) << 32
+	hi = a1*b1 + c + (t >> 32)
+	return hi, lo
+}

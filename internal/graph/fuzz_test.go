@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadAdjacency checks the text parser never panics and that any
+// graph it accepts satisfies the CSR invariants.
+func FuzzReadAdjacency(f *testing.F) {
+	f.Add("AdjacencyGraph\n3\n3\n0\n1\n2\n1\n2\n0\n")
+	f.Add("WeightedAdjacencyGraph\n2\n1\n0\n1\n1\n5\n")
+	f.Add("AdjacencyGraph 3 3 0 1 2 1 2 0")
+	f.Add("AdjacencyGraph\n0\n0\n")
+	f.Add("AdjacencyGraph\n-1\n0\n")
+	f.Add("garbage")
+	f.Add("AdjacencyGraph\n999999999999\n0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadAdjacency(strings.NewReader(in), false)
+		if err != nil {
+			return
+		}
+		if err := Validate(g); err != nil {
+			t.Fatalf("accepted graph fails validation: %v\ninput: %q", err, in)
+		}
+		// Round trip must succeed and preserve sizes.
+		var buf bytes.Buffer
+		if err := WriteAdjacency(&buf, g); err != nil {
+			t.Fatalf("cannot re-serialize accepted graph: %v", err)
+		}
+		g2, err := ReadAdjacency(&buf, false)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed sizes")
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary parser never panics on corrupt input.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid file and mutations of it.
+	g, err := FromEdges(3, []Edge{{0, 1, 2}, {1, 2, 3}}, BuildOptions{Weighted: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("LIGRAGO1 garbage follows"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		g, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := Validate(g); err != nil {
+			t.Fatalf("accepted binary graph fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleGraph(t *testing.T, weighted bool) *Graph {
+	t.Helper()
+	edges := []Edge{
+		{0, 1, 4}, {0, 2, 2}, {1, 2, 5}, {2, 3, 1}, {3, 0, 8}, {4, 4, 3},
+	}
+	g, err := FromEdges(5, edges, BuildOptions{Weighted: weighted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() ||
+		a.Symmetric() != b.Symmetric() || a.Weighted() != b.Weighted() {
+		return false
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if a.offsets[v] != b.offsets[v] {
+			return false
+		}
+	}
+	for i := range a.edges {
+		if a.edges[i] != b.edges[i] {
+			return false
+		}
+		if a.weights != nil && a.weights[i] != b.weights[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAdjacencyRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := sampleGraph(t, weighted)
+		var buf bytes.Buffer
+		if err := WriteAdjacency(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadAdjacency(&buf, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graphsEqual(g, g2) {
+			t.Errorf("weighted=%v: round trip mismatch", weighted)
+		}
+	}
+}
+
+func TestAdjacencyHeaderName(t *testing.T) {
+	g := sampleGraph(t, true)
+	var buf bytes.Buffer
+	if err := WriteAdjacency(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "WeightedAdjacencyGraph\n") {
+		t.Errorf("weighted header missing: %q", buf.String()[:30])
+	}
+}
+
+func TestReadAdjacencyWhitespaceTolerant(t *testing.T) {
+	// Space-separated single-line layout must parse too.
+	in := "AdjacencyGraph 3 3 0 1 2 1 2 0"
+	g, err := ReadAdjacency(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Errorf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestReadAdjacencyErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "NotAGraph\n1\n0\n0\n"},
+		{"truncated counts", "AdjacencyGraph\n5\n"},
+		{"truncated offsets", "AdjacencyGraph\n3\n2\n0\n"},
+		{"truncated edges", "AdjacencyGraph\n2\n2\n0\n1\n0\n"},
+		{"edge out of range", "AdjacencyGraph\n2\n1\n0\n1\n9\n"},
+		{"negative n", "AdjacencyGraph\n-1\n0\n"},
+		{"garbage token", "AdjacencyGraph\nxyz\n0\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadAdjacency(strings.NewReader(tc.in), false); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := sampleGraph(t, weighted)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graphsEqual(g, g2) {
+			t.Errorf("weighted=%v: binary round trip mismatch", weighted)
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a graph file at all"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestLoadSaveFileAutodetect(t *testing.T) {
+	dir := t.TempDir()
+	g := sampleGraph(t, true)
+
+	textPath := filepath.Join(dir, "g.adj")
+	if err := SaveFile(textPath, g, false); err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, "g.bin")
+	if err := SaveFile(binPath, g, true); err != nil {
+		t.Fatal(err)
+	}
+
+	gt, err := LoadFile(textPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := LoadFile(binPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, gt) || !graphsEqual(g, gb) {
+		t.Error("file round trips mismatch")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing"), false); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSymmetricFlagPreservedInBinary(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 1, 0}, {1, 2, 0}}, BuildOptions{Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Symmetric() {
+		t.Error("symmetric flag lost in binary round trip")
+	}
+}

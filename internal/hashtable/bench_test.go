@@ -1,0 +1,96 @@
+package hashtable
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func BenchmarkInsertSequential(b *testing.B) {
+	const n = 1 << 16
+	keys := make([]uint32, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range keys {
+		keys[i] = rng.Uint32() >> 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSet(n)
+		for _, k := range keys {
+			s.Insert(k)
+		}
+	}
+}
+
+func BenchmarkInsertConcurrent(b *testing.B) {
+	const n = 1 << 16
+	keys := make([]uint32, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range keys {
+		keys[i] = rng.Uint32() >> 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSet(n)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for j := w; j < n; j += 4 {
+					s.Insert(keys[j])
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkInsertGoMapBaseline(b *testing.B) {
+	const n = 1 << 16
+	keys := make([]uint32, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range keys {
+		keys[i] = rng.Uint32() >> 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := make(map[uint32]struct{}, n)
+		for _, k := range keys {
+			m[k] = struct{}{}
+		}
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	const n = 1 << 16
+	s := NewSet(n)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = rng.Uint32() >> 1
+		s.Insert(keys[i])
+	}
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if s.Contains(keys[i%n]) {
+			hits++
+		}
+	}
+	_ = hits
+}
+
+func BenchmarkElements(b *testing.B) {
+	const n = 1 << 16
+	s := NewSet(n)
+	for k := uint32(0); k < n; k++ {
+		s.Insert(k * 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Elements(); len(got) != n {
+			b.Fatal("wrong size")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package hashtable implements a phase-concurrent, history-independent
+// hash set for 32-bit keys after Shun and Blelloch (SPAA 2014): within an
+// insert phase, any number of goroutines may insert concurrently, and the
+// final memory layout depends only on the *set* of keys, not on insertion
+// order or interleaving — the linear-probing chains are kept sorted by
+// priority and inserts displace lower-priority keys, so the table is
+// deterministic. Reads (Contains, Elements) form a separate phase and
+// must not overlap inserts.
+//
+// In the Ligra reproduction this is the alternative duplicate-removal
+// strategy for sparse edgeMap outputs (the paper's remDuplicates uses a
+// CAS-claimed array of size |V|; a hash set costs O(frontier) space
+// instead), exercised by the ablation-dedup experiment.
+package hashtable
+
+import (
+	"sync/atomic"
+
+	"ligra/internal/parallel"
+)
+
+// empty marks an unoccupied slot. The sentinel key ^uint32(0) is
+// therefore not insertable; Ligra uses the same value as its "no vertex"
+// sentinel, so this costs nothing in practice.
+const empty = ^uint32(0)
+
+// Set is a fixed-capacity phase-concurrent hash set of uint32 keys.
+type Set struct {
+	slots []uint32
+	mask  uint32
+}
+
+// NewSet returns a set that can hold up to capacity keys with a load
+// factor of at most 1/2 (the table size is the next power of two of
+// 2*capacity).
+func NewSet(capacity int) *Set {
+	if capacity < 1 {
+		capacity = 1
+	}
+	size := 4
+	for size < 2*capacity {
+		size <<= 1
+	}
+	s := &Set{slots: make([]uint32, size), mask: uint32(size - 1)}
+	for i := range s.slots {
+		s.slots[i] = empty
+	}
+	return s
+}
+
+// hash32 is a strong 32-bit mixer (finalizer of MurmurHash3).
+func hash32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x85EBCA6B
+	x ^= x >> 13
+	x *= 0xC2B2AE35
+	x ^= x >> 16
+	return x
+}
+
+// priority orders keys along a probe chain: primarily by hash position,
+// then by key value. Chains hold keys in decreasing priority starting at
+// their home slot, which is what makes the layout history-independent.
+func (s *Set) priority(k uint32) uint64 {
+	return uint64(hash32(k)&s.mask)<<32 | uint64(k)
+}
+
+// Insert adds k to the set, returning true if k was absent. Safe to call
+// concurrently with other Inserts (but not with reads). k must not be the
+// reserved sentinel ^uint32(0).
+func (s *Set) Insert(k uint32) bool {
+	if k == empty {
+		panic("hashtable: cannot insert the reserved sentinel key")
+	}
+	i := hash32(k) & s.mask
+	pk := s.priority(k)
+	for probes := 0; probes <= len(s.slots); probes++ {
+		cur := atomic.LoadUint32(&s.slots[i])
+		switch {
+		case cur == k:
+			return false
+		case cur == empty:
+			if atomic.CompareAndSwapUint32(&s.slots[i], empty, k) {
+				return true
+			}
+			// Lost the race; re-examine the same slot.
+			probes--
+		case s.priority(cur) < pk:
+			// k has higher priority: displace cur and keep inserting it
+			// further down the chain (ordered linear probing).
+			if atomic.CompareAndSwapUint32(&s.slots[i], cur, k) {
+				k = cur
+				pk = s.priority(k)
+			}
+			// On CAS failure re-examine the same slot with the new value.
+			probes--
+			continue
+		}
+		i = (i + 1) & s.mask
+	}
+	panic("hashtable: table full (capacity exceeded)")
+}
+
+// Contains reports whether k is in the set. Must not run concurrently
+// with Insert.
+func (s *Set) Contains(k uint32) bool {
+	if k == empty {
+		return false
+	}
+	i := hash32(k) & s.mask
+	pk := s.priority(k)
+	for probes := 0; probes <= len(s.slots); probes++ {
+		cur := s.slots[i]
+		if cur == k {
+			return true
+		}
+		// Chains are sorted by decreasing priority: once we pass k's
+		// priority position (or hit an empty slot) it cannot appear later.
+		if cur == empty || s.priority(cur) < pk {
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+	return false
+}
+
+// Len returns the number of keys stored (a scan; phase-safe with reads).
+func (s *Set) Len() int {
+	return parallel.CountFunc(len(s.slots), func(i int) bool {
+		return s.slots[i] != empty
+	})
+}
+
+// Elements returns the stored keys, packed in slot order. Because the
+// layout is history-independent, the returned order is deterministic for
+// a given key set regardless of how it was inserted. Must not run
+// concurrently with Insert.
+func (s *Set) Elements() []uint32 {
+	return parallel.Filter(s.slots, func(k uint32) bool { return k != empty })
+}
+
+// Reset clears the set for reuse (sequential).
+func (s *Set) Reset() {
+	parallel.Fill(s.slots, empty)
+}
+
+// TableSize returns the number of slots (for tests and sizing analysis).
+func (s *Set) TableSize() int { return len(s.slots) }

@@ -1,0 +1,205 @@
+package hashtable
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"ligra/internal/parallel"
+)
+
+func TestMain(m *testing.M) {
+	parallel.SetProcs(4)
+	os.Exit(m.Run())
+}
+
+func TestInsertContains(t *testing.T) {
+	s := NewSet(100)
+	keys := []uint32{0, 1, 5, 1000, 1 << 30}
+	for _, k := range keys {
+		if !s.Insert(k) {
+			t.Errorf("first insert of %d reported duplicate", k)
+		}
+	}
+	for _, k := range keys {
+		if s.Insert(k) {
+			t.Errorf("second insert of %d reported new", k)
+		}
+		if !s.Contains(k) {
+			t.Errorf("Contains(%d) = false", k)
+		}
+	}
+	for _, k := range []uint32{2, 999, 1 << 29} {
+		if s.Contains(k) {
+			t.Errorf("Contains(%d) = true for absent key", k)
+		}
+	}
+	if s.Len() != len(keys) {
+		t.Errorf("Len = %d, want %d", s.Len(), len(keys))
+	}
+}
+
+func TestSentinelRejected(t *testing.T) {
+	s := NewSet(4)
+	if s.Contains(^uint32(0)) {
+		t.Error("sentinel contained")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sentinel insert did not panic")
+		}
+	}()
+	s.Insert(^uint32(0))
+}
+
+func TestElementsAndReset(t *testing.T) {
+	s := NewSet(50)
+	for k := uint32(0); k < 50; k++ {
+		s.Insert(k * 3)
+	}
+	elems := s.Elements()
+	if len(elems) != 50 {
+		t.Fatalf("Elements returned %d keys", len(elems))
+	}
+	seen := map[uint32]bool{}
+	for _, k := range elems {
+		if k%3 != 0 || seen[k] {
+			t.Fatalf("bad element %d", k)
+		}
+		seen[k] = true
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Error("Reset left keys behind")
+	}
+	if s.Contains(3) {
+		t.Error("Contains true after Reset")
+	}
+}
+
+// TestHistoryIndependence is the defining property (Shun-Blelloch SPAA'14):
+// the final slot layout depends only on the key set, not on insertion
+// order or concurrency.
+func TestHistoryIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]uint32, 500)
+	for i := range keys {
+		keys[i] = rng.Uint32() >> 1
+	}
+
+	layout := func(order []uint32, concurrent bool) []uint32 {
+		s := NewSet(len(order))
+		if concurrent {
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(order); i += 4 {
+						s.Insert(order[i])
+					}
+				}(w)
+			}
+			wg.Wait()
+		} else {
+			for _, k := range order {
+				s.Insert(k)
+			}
+		}
+		return append([]uint32(nil), s.slots...)
+	}
+
+	base := layout(keys, false)
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]uint32(nil), keys...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		seq := layout(shuffled, false)
+		con := layout(shuffled, true)
+		for i := range base {
+			if seq[i] != base[i] {
+				t.Fatalf("trial %d: sequential layout differs at slot %d", trial, i)
+			}
+			if con[i] != base[i] {
+				t.Fatalf("trial %d: concurrent layout differs at slot %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestConcurrentInsertExactlyOnce(t *testing.T) {
+	const n = 20000
+	s := NewSet(n)
+	var wins int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for k := uint32(0); k < n; k++ {
+				if s.Insert(k) {
+					local++
+				}
+			}
+			mu.Lock()
+			wins += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if wins != n {
+		t.Errorf("total successful inserts %d, want %d", wins, n)
+	}
+	if s.Len() != n {
+		t.Errorf("Len = %d, want %d", s.Len(), n)
+	}
+	for k := uint32(0); k < n; k++ {
+		if !s.Contains(k) {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+}
+
+func TestAgainstMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewSet(2000)
+	model := map[uint32]bool{}
+	for i := 0; i < 2000; i++ {
+		k := uint32(rng.Intn(3000))
+		got := s.Insert(k)
+		want := !model[k]
+		model[k] = true
+		if got != want {
+			t.Fatalf("insert %d: got %v, want %v", k, got, want)
+		}
+	}
+	for k := uint32(0); k < 3000; k++ {
+		if s.Contains(k) != model[k] {
+			t.Fatalf("Contains(%d) = %v, want %v", k, s.Contains(k), model[k])
+		}
+	}
+	if s.Len() != len(model) {
+		t.Errorf("Len = %d, want %d", s.Len(), len(model))
+	}
+}
+
+func TestCapacitySizing(t *testing.T) {
+	s := NewSet(1)
+	if s.TableSize() < 2 {
+		t.Errorf("table size %d too small", s.TableSize())
+	}
+	s0 := NewSet(0)
+	s0.Insert(7)
+	if !s0.Contains(7) {
+		t.Error("minimal set broken")
+	}
+	// Power-of-two sizing with load factor <= 1/2.
+	s100 := NewSet(100)
+	if s100.TableSize() < 200 || s100.TableSize()&(s100.TableSize()-1) != 0 {
+		t.Errorf("table size %d not a power of two >= 200", s100.TableSize())
+	}
+}

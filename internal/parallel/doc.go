@@ -1,0 +1,20 @@
+// Package parallel provides the nested-parallel primitives that the rest of
+// the framework is written against: parallel loops, reductions, prefix sums
+// (scans), filtering/packing, and parallel sorting.
+//
+// Ligra (Shun & Blelloch, PPoPP 2013) is implemented on top of a Cilk-style
+// work-stealing runtime with parallel_for, plus the sequence primitives of
+// the PBBS library (reduce, scan, filter, pack). This package plays that
+// role for the Go port. Loops are executed by a pool of goroutines (one per
+// GOMAXPROCS by default) that claim fixed-size chunks of the iteration space
+// from a shared atomic counter, which gives dynamic load balancing similar
+// to work stealing for the irregular loops that dominate graph traversal.
+//
+// All primitives fall back to plain sequential execution when the iteration
+// space is small or when only one worker is configured, so they can be used
+// unconditionally without branching at call sites.
+//
+// Panics raised inside loop bodies are captured and re-raised on the calling
+// goroutine once all workers have stopped, preserving the usual Go
+// panic-propagation contract across the fork/join boundary.
+package parallel

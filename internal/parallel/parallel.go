@@ -1,0 +1,227 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// numWorkers is the number of goroutines used for parallel primitives.
+// Zero means "use runtime.GOMAXPROCS(0)". It is overridable so benchmark
+// harnesses can sweep worker counts without mutating GOMAXPROCS.
+var numWorkers atomic.Int64
+
+// Procs reports the number of workers parallel primitives will use.
+func Procs() int {
+	if p := int(numWorkers.Load()); p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetProcs overrides the worker count used by all primitives in this
+// package. p <= 0 restores the default (GOMAXPROCS). It returns the
+// previous override (0 if none was set).
+func SetProcs(p int) int {
+	old := int(numWorkers.Load())
+	if p < 0 {
+		p = 0
+	}
+	numWorkers.Store(int64(p))
+	return old
+}
+
+// MinGrain is the smallest chunk size handed to a worker. Finer grains make
+// load balancing better but increase scheduling overhead.
+const MinGrain = 1
+
+// maxGrain caps the automatic grain so very large loops still balance well.
+const maxGrain = 4096
+
+// defaultGrain picks a chunk size targeting ~8 chunks per worker, clamped to
+// [MinGrain, maxGrain].
+func defaultGrain(n, procs int) int {
+	g := n / (8 * procs)
+	if g < MinGrain {
+		return MinGrain
+	}
+	if g > maxGrain {
+		return maxGrain
+	}
+	return g
+}
+
+// panicBox records the first panic raised by any worker.
+type panicBox struct {
+	once sync.Once
+	val  any
+}
+
+func (b *panicBox) capture() {
+	if r := recover(); r != nil {
+		b.once.Do(func() { b.val = r })
+	}
+}
+
+func (b *panicBox) repanic() {
+	if b.val != nil {
+		panic(fmt.Sprintf("parallel: panic in worker: %v", b.val))
+	}
+}
+
+// For runs body(i) for every i in [0, n) using all configured workers and an
+// automatically chosen grain size.
+func For(n int, body func(i int)) {
+	ForGrain(n, 0, body)
+}
+
+// ForGrain runs body(i) for every i in [0, n). Iterations are dispatched to
+// workers in contiguous chunks of the given grain size; grain <= 0 selects
+// an automatic value. Chunks are claimed dynamically, so uneven per-
+// iteration costs (e.g. skewed vertex degrees) still balance.
+func ForGrain(n, grain int, body func(i int)) {
+	ForRangeGrain(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRange runs body over contiguous sub-ranges [lo, hi) that exactly cover
+// [0, n). It is the blocked form of For, useful when the body can process a
+// run of iterations more efficiently than one at a time.
+func ForRange(n int, body func(lo, hi int)) {
+	ForRangeGrain(n, 0, body)
+}
+
+// ForRangeGrain is ForRange with an explicit grain size (grain <= 0 selects
+// an automatic value).
+func ForRangeGrain(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	procs := Procs()
+	if grain <= 0 {
+		grain = defaultGrain(n, procs)
+	}
+	if procs == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	workers := procs
+	if workers > chunks {
+		workers = chunks
+	}
+
+	var next atomic.Int64
+	var box panicBox
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer box.capture()
+			for {
+				c := int(next.Add(1) - 1)
+				if c >= chunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	box.repanic()
+}
+
+// ForEachWorker runs body(worker, workers) once on each of the configured
+// workers. It is used by primitives that keep per-worker state (e.g. blocked
+// scans). The worker index is in [0, workers).
+func ForEachWorker(body func(worker, workers int)) {
+	workers := Procs()
+	if workers == 1 {
+		body(0, 1)
+		return
+	}
+	var box panicBox
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			defer box.capture()
+			body(w, workers)
+		}(w)
+	}
+	wg.Wait()
+	box.repanic()
+}
+
+// Do runs the given thunks concurrently and waits for all of them; it is the
+// binary/spawn form of fork-join parallelism (Cilk's spawn/sync).
+func Do(thunks ...func()) {
+	switch len(thunks) {
+	case 0:
+		return
+	case 1:
+		thunks[0]()
+		return
+	}
+	if Procs() == 1 {
+		for _, t := range thunks {
+			t()
+		}
+		return
+	}
+	var box panicBox
+	var wg sync.WaitGroup
+	wg.Add(len(thunks) - 1)
+	for _, t := range thunks[1:] {
+		go func(t func()) {
+			defer wg.Done()
+			defer box.capture()
+			t()
+		}(t)
+	}
+	func() {
+		defer box.capture()
+		thunks[0]()
+	}()
+	wg.Wait()
+	box.repanic()
+}
+
+// blockBounds splits [0, n) into nblocks nearly equal contiguous blocks and
+// returns the bounds of block b as [lo, hi).
+func blockBounds(n, nblocks, b int) (lo, hi int) {
+	q, r := n/nblocks, n%nblocks
+	lo = b*q + min(b, r)
+	hi = lo + q
+	if b < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// numBlocks picks how many blocks two-pass primitives (scan, filter) use.
+func numBlocks(n int) int {
+	procs := Procs()
+	if procs == 1 || n < 2048 {
+		return 1
+	}
+	b := procs * 8
+	if b > (n+2047)/2048 {
+		b = (n + 2047) / 2048
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+package parallel
+
+// SemisortByKey reorders items so that elements with equal keys become
+// contiguous, without fully sorting across different keys — the semisort
+// primitive of Gu, Shun, Sun and Blelloch (SPAA 2015), the core of
+// group-by/MapReduce-style collection. The implementation hashes keys and
+// radix-sorts by the hash (equal keys share a hash, so they land
+// together); the rare distinct-key hash collisions are repaired with a
+// local grouping pass over each equal-hash run.
+func SemisortByKey[T any](items []T, key func(T) uint64) {
+	n := len(items)
+	if n <= 1 {
+		return
+	}
+	work := make([]hashedItem[T], n)
+	For(n, func(i int) {
+		work[i] = hashedItem[T]{h: hashKey64(key(items[i])), item: items[i]}
+	})
+	RadixSortByKey(work, 1<<32, func(v hashedItem[T]) int64 { return int64(v.h) })
+
+	// Repair pass: within each run of equal hashes, group equal keys
+	// (runs are tiny with a good hash, so quadratic locally is fine).
+	// Ownership rule: a run is processed by the block in which it starts;
+	// blocks skip a leading foreign run and extend past their end to
+	// finish their own last run, so regions never overlap.
+	ForRange(n, func(lo, hi int) {
+		for lo < hi && lo > 0 && work[lo].h == work[lo-1].h {
+			lo++
+		}
+		if lo >= hi {
+			return // block lies entirely inside a run owned by another block
+		}
+		for hi < n && work[hi].h == work[hi-1].h {
+			hi++
+		}
+		i := lo
+		for i < hi {
+			j := i + 1
+			for j < hi && work[j].h == work[i].h {
+				j++
+			}
+			if j-i > 1 {
+				groupRun(work[i:j], key)
+			}
+			i = j
+		}
+	})
+	For(n, func(i int) { items[i] = work[i].item })
+}
+
+// hashedItem pairs an element with its key hash during a semisort.
+type hashedItem[T any] struct {
+	h    uint32
+	item T
+}
+
+// groupRun groups equal keys within a small run by selection-style
+// swapping. Only the items move — the hashes in the run are all equal and
+// neighboring workers may still be reading them to find their run
+// boundaries, so the h fields must not be written.
+func groupRun[T any](run []hashedItem[T], key func(T) uint64) {
+	for i := 0; i < len(run); {
+		k := key(run[i].item)
+		j := i + 1
+		for t := i + 1; t < len(run); t++ {
+			if key(run[t].item) == k {
+				run[j].item, run[t].item = run[t].item, run[j].item
+				j++
+			}
+		}
+		i = j
+	}
+}
+
+// hashKey64 compresses a 64-bit key to a well-mixed 32-bit hash.
+func hashKey64(x uint64) uint32 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return uint32(x)
+}
+
+// GroupByKey semisorts items and returns the contiguous groups as
+// sub-slices of the (reordered) input; each group holds all elements of
+// one key.
+func GroupByKey[T any](items []T, key func(T) uint64) [][]T {
+	SemisortByKey(items, key)
+	var groups [][]T
+	i := 0
+	for i < len(items) {
+		k := key(items[i])
+		j := i + 1
+		for j < len(items) && key(items[j]) == k {
+			j++
+		}
+		groups = append(groups, items[i:j])
+		i = j
+	}
+	return groups
+}

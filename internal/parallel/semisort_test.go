@@ -1,0 +1,147 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkGrouped verifies that equal keys are contiguous and the multiset
+// of elements is preserved.
+func checkGrouped(t *testing.T, items []uint64, original []uint64) {
+	t.Helper()
+	// Multiset preserved.
+	count := map[uint64]int{}
+	for _, x := range original {
+		count[x]++
+	}
+	for _, x := range items {
+		count[x]--
+	}
+	for k, c := range count {
+		if c != 0 {
+			t.Fatalf("multiset changed for key %d (delta %d)", k, c)
+		}
+	}
+	// Contiguity: once a key's run ends it never reappears.
+	seen := map[uint64]bool{}
+	for i := 0; i < len(items); {
+		k := items[i]
+		if seen[k] {
+			t.Fatalf("key %d appears in two separate runs", k)
+		}
+		seen[k] = true
+		for i < len(items) && items[i] == k {
+			i++
+		}
+	}
+}
+
+func TestSemisortGroupsEqualKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 100, 10000, 100000} {
+		items := make([]uint64, n)
+		for i := range items {
+			items[i] = uint64(rng.Intn(50)) // many duplicates
+		}
+		orig := append([]uint64(nil), items...)
+		SemisortByKey(items, func(x uint64) uint64 { return x })
+		checkGrouped(t, items, orig)
+	}
+}
+
+func TestSemisortAllDistinct(t *testing.T) {
+	n := 50000
+	items := make([]uint64, n)
+	for i := range items {
+		items[i] = uint64(i)
+	}
+	orig := append([]uint64(nil), items...)
+	SemisortByKey(items, func(x uint64) uint64 { return x })
+	checkGrouped(t, items, orig)
+}
+
+func TestSemisortAllEqual(t *testing.T) {
+	items := make([]uint64, 10000)
+	for i := range items {
+		items[i] = 7
+	}
+	SemisortByKey(items, func(x uint64) uint64 { return x })
+	for _, x := range items {
+		if x != 7 {
+			t.Fatal("elements changed")
+		}
+	}
+}
+
+func TestSemisortProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		items := make([]uint64, len(raw))
+		for i, r := range raw {
+			items[i] = uint64(r % 97)
+		}
+		orig := append([]uint64(nil), items...)
+		SemisortByKey(items, func(x uint64) uint64 { return x })
+		// Inline contiguity check (no testing.T in quick property).
+		count := map[uint64]int{}
+		for _, x := range orig {
+			count[x]++
+		}
+		for _, x := range items {
+			count[x]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		seen := map[uint64]bool{}
+		for i := 0; i < len(items); {
+			k := items[i]
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+			for i < len(items) && items[i] == k {
+				i++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	type rec struct {
+		k uint64
+		v int
+	}
+	items := []rec{{2, 1}, {1, 2}, {2, 3}, {3, 4}, {1, 5}, {2, 6}}
+	groups := GroupByKey(items, func(r rec) uint64 { return r.k })
+	if len(groups) != 3 {
+		t.Fatalf("%d groups, want 3", len(groups))
+	}
+	sizes := map[uint64]int{}
+	total := 0
+	for _, g := range groups {
+		k := g[0].k
+		for _, r := range g {
+			if r.k != k {
+				t.Fatalf("group of key %d contains key %d", k, r.k)
+			}
+		}
+		sizes[k] = len(g)
+		total += len(g)
+	}
+	if total != len(items) || sizes[1] != 2 || sizes[2] != 3 || sizes[3] != 1 {
+		t.Fatalf("group sizes wrong: %v", sizes)
+	}
+}
+
+func TestGroupByKeyEmpty(t *testing.T) {
+	if groups := GroupByKey([]int{}, func(int) uint64 { return 0 }); len(groups) != 0 {
+		t.Error("groups from empty input")
+	}
+}

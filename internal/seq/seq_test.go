@@ -1,0 +1,269 @@
+package seq
+
+import (
+	"math"
+	"testing"
+
+	"ligra/internal/graph"
+)
+
+// line builds the weighted directed line 0 ->(1) 1 ->(2) 2 ->(3) 3.
+func line(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 2},
+		{Src: 2, Dst: 3, Weight: 3},
+	}, graph.BuildOptions{Weighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBFSLine(t *testing.T) {
+	g := line(t)
+	p := BFS(g, 0)
+	if p[0] != 0 || p[1] != 0 || p[2] != 1 || p[3] != 2 {
+		t.Errorf("parents = %v", p)
+	}
+	lv := BFSLevels(g, 0)
+	for v, want := range []int32{0, 1, 2, 3} {
+		if lv[v] != want {
+			t.Errorf("level[%d] = %d, want %d", v, lv[v], want)
+		}
+	}
+	// From the sink, everything else is unreachable.
+	lv3 := BFSLevels(g, 3)
+	if lv3[0] != -1 || lv3[3] != 0 {
+		t.Errorf("levels from sink = %v", lv3)
+	}
+}
+
+func TestConnectedComponentsTwoIslands(t *testing.T) {
+	g, err := graph.FromEdges(5, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 3, Dst: 4},
+	}, graph.BuildOptions{Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := ConnectedComponents(g)
+	if labels[0] != 0 || labels[1] != 0 {
+		t.Errorf("first island labels: %v", labels)
+	}
+	if labels[2] != 2 {
+		t.Errorf("isolated vertex label: %d", labels[2])
+	}
+	if labels[3] != 3 || labels[4] != 3 {
+		t.Errorf("second island labels: %v", labels)
+	}
+}
+
+func TestDijkstraLine(t *testing.T) {
+	g := line(t)
+	d := Dijkstra(g, 0)
+	want := []int64{0, 1, 3, 6}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Errorf("dist[%d] = %d, want %d", v, d[v], want[v])
+		}
+	}
+}
+
+func TestDijkstraDecreaseKey(t *testing.T) {
+	// Two routes to 2: direct (10) and via 1 (3+4=7); heap must re-fix.
+	g, err := graph.FromEdges(3, []graph.Edge{
+		{Src: 0, Dst: 2, Weight: 10},
+		{Src: 0, Dst: 1, Weight: 3},
+		{Src: 1, Dst: 2, Weight: 4},
+	}, graph.BuildOptions{Weighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Dijkstra(g, 0)
+	if d[2] != 7 {
+		t.Errorf("dist[2] = %d, want 7", d[2])
+	}
+}
+
+func TestBellmanFordAgreesWithDijkstra(t *testing.T) {
+	g := line(t)
+	bf, neg := BellmanFord(g, 0)
+	if neg {
+		t.Fatal("spurious negative cycle")
+	}
+	dj := Dijkstra(g, 0)
+	for v := range dj {
+		if bf[v] != dj[v] {
+			t.Errorf("dist[%d]: BF %d vs Dijkstra %d", v, bf[v], dj[v])
+		}
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0},
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PageRank(g, 0.85, 1e-12, 200)
+	for v, r := range p {
+		if math.Abs(r-0.25) > 1e-9 {
+			t.Errorf("rank[%d] = %v, want 0.25 (symmetric cycle)", v, r)
+		}
+	}
+}
+
+func TestPageRankMassConserved(t *testing.T) {
+	// Graph with a dangling vertex.
+	g, err := graph.FromEdges(3, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2},
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PageRank(g, 0.85, 1e-12, 200)
+	var mass float64
+	for _, r := range p {
+		mass += r
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Errorf("mass = %v, want 1", mass)
+	}
+	if !(p[2] > p[1] && p[1] > p[0]) {
+		t.Errorf("ordering wrong: %v", p)
+	}
+}
+
+func TestBCStarCenter(t *testing.T) {
+	// Star with center 0: every shortest path between leaves passes the
+	// center. From source = leaf 1, delta(center) = #other leaves.
+	g, err := graph.FromEdges(5, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 0, Dst: 4},
+	}, graph.BuildOptions{Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := BC(g, 1)
+	if math.Abs(delta[0]-3) > 1e-12 {
+		t.Errorf("delta(center) = %v, want 3", delta[0])
+	}
+	for v := 2; v <= 4; v++ {
+		if delta[v] != 0 {
+			t.Errorf("delta(leaf %d) = %v, want 0", v, delta[v])
+		}
+	}
+}
+
+func TestEccentricities(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3},
+	}, graph.BuildOptions{Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecc := Eccentricities(g, []uint32{0, 3})
+	want := []int32{3, 2, 2, 3}
+	for v := range want {
+		if ecc[v] != want[v] {
+			t.Errorf("ecc[%d] = %d, want %d", v, ecc[v], want[v])
+		}
+	}
+}
+
+func TestTriangleCountSquareWithDiagonal(t *testing.T) {
+	// Square 0-1-2-3 plus diagonal 0-2: two triangles.
+	g, err := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0}, {Src: 0, Dst: 2},
+	}, graph.BuildOptions{Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TriangleCount(g); got != 2 {
+		t.Errorf("triangles = %d, want 2", got)
+	}
+}
+
+func TestSortU32LongRuns(t *testing.T) {
+	// Exercise the quicksort path (> 32 elements) including duplicates.
+	n := 1000
+	s := make([]uint32, n)
+	for i := range s {
+		s[i] = uint32((i * 7919) % 257)
+	}
+	sortU32(s)
+	for i := 1; i < n; i++ {
+		if s[i-1] > s[i] {
+			t.Fatalf("unsorted at %d", i)
+		}
+	}
+}
+
+func TestIntersectCount(t *testing.T) {
+	a := []uint32{1, 3, 5, 7}
+	b := []uint32{2, 3, 4, 5, 6}
+	if got := intersectCount(a, b); got != 2 {
+		t.Errorf("intersectCount = %d, want 2", got)
+	}
+	if got := intersectCount(nil, b); got != 0 {
+		t.Errorf("empty intersect = %d", got)
+	}
+}
+
+func TestSCCSequential(t *testing.T) {
+	// Two 2-cycles bridged one-way plus a self-contained vertex.
+	g, err := graph.FromEdges(5, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+		{Src: 1, Dst: 2},
+		{Src: 2, Dst: 3}, {Src: 3, Dst: 2},
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := SCC(g)
+	want := []uint32{0, 0, 2, 2, 4}
+	for v := range want {
+		if comp[v] != want[v] {
+			t.Errorf("comp[%d] = %d, want %d", v, comp[v], want[v])
+		}
+	}
+}
+
+func TestSCCDeepChainIterative(t *testing.T) {
+	// A long directed path would overflow a recursive Tarjan; the
+	// iterative version must handle it.
+	n := 200000
+	edges := make([]graph.Edge, n-1)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: uint32(i), Dst: uint32(i + 1)}
+	}
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := SCC(g)
+	for v := 0; v < n; v++ {
+		if comp[v] != uint32(v) {
+			t.Fatalf("path vertex %d in component %d", v, comp[v])
+		}
+	}
+}
+
+func TestSCCBigCycle(t *testing.T) {
+	n := 100000
+	edges := make([]graph.Edge, n)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: uint32(i), Dst: uint32((i + 1) % n)}
+	}
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := SCC(g)
+	for v := 0; v < n; v++ {
+		if comp[v] != 0 {
+			t.Fatalf("cycle vertex %d in component %d", v, comp[v])
+		}
+	}
+}
