@@ -42,6 +42,7 @@ func run(args []string, stdout io.Writer) error {
 		scale      = fs.Int("scale", 14, "synthetic graph scale (~2^scale vertices)")
 		rounds     = fs.Int("rounds", 3, "timed repetitions per measurement (median reported)")
 		maxProcs   = fs.Int("maxprocs", 0, "largest worker count in the scalability sweep (0 = 2*GOMAXPROCS)")
+		budget     = fs.Duration("budget", 0, "wall-clock budget for the whole run (0 = none); experiments stop between measurements when it expires and report partial tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +53,9 @@ func run(args []string, stdout io.Writer) error {
 		Rounds:   *rounds,
 		MaxProcs: *maxProcs,
 		Out:      stdout,
+	}
+	if *budget > 0 {
+		cfg.Deadline = time.Now().Add(*budget)
 	}
 
 	ids := bench.ExperimentOrder()
@@ -67,6 +71,10 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if i > 0 {
 			fmt.Fprintln(stdout)
+		}
+		if cfg.Expired() {
+			fmt.Fprintf(stdout, "[budget exhausted: skipping %s and later experiments]\n", id)
+			break
 		}
 		fmt.Fprintf(stdout, "=== %s ===\n", id)
 		start := time.Now()

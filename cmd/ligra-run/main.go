@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +48,7 @@ func run(args []string, stdout io.Writer) error {
 		trace     = fs.Bool("trace", false, "print the per-round edgeMap trace")
 		compressG = fs.Bool("compress", false, "run on the Ligra+ byte-compressed representation")
 		procs     = fs.Int("procs", 0, "worker goroutines (0 = GOMAXPROCS)")
+		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the computation (0 = none); on expiry the algorithm stops cooperatively and its partial result is reported")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,21 +110,41 @@ func run(args []string, stdout io.Writer) error {
 	if reps < 1 {
 		reps = 1
 	}
+	var ctx context.Context
+	if *timeout > 0 {
+		c, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		ctx = c
+	}
 	var best time.Duration
 	var summary string
+	interrupted := false
+	done := 0
 	for r := 0; r < reps; r++ {
 		start := time.Now()
 		var err error
-		summary, err = runOnce(*algoName, view, src, opts)
-		if err != nil {
-			return err
-		}
+		summary, err = runOnce(ctx, *algoName, view, src, opts)
 		if d := time.Since(start); r == 0 || d < best {
 			best = d
 		}
+		done = r + 1
+		if err != nil {
+			var re *ligra.RoundError
+			if errors.As(err, &re) &&
+				(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+				fmt.Fprintf(stdout, "interrupted: %v\n", err)
+				interrupted = true
+				break
+			}
+			return err
+		}
 	}
-	fmt.Fprintln(stdout, summary)
-	fmt.Fprintf(stdout, "time: %v (best of %d)\n", best, reps)
+	if interrupted {
+		fmt.Fprintf(stdout, "partial result: %s\n", summary)
+	} else {
+		fmt.Fprintln(stdout, summary)
+	}
+	fmt.Fprintf(stdout, "time: %v (best of %d)\n", best, done)
 	if tr != nil {
 		fmt.Fprintln(stdout, "round  |frontier|  outdegrees  mode    output")
 		for _, e := range tr.Entries {
@@ -168,13 +191,16 @@ func maxDegreeVertex(g ligra.View) uint32 {
 	return best
 }
 
-func runOnce(name string, g ligra.View, src uint32, opts ligra.Options) (string, error) {
+// runOnce executes one algorithm and summarizes its result. A nil ctx
+// means no budget; when ctx expires mid-run, supported algorithms return
+// both the summary of their partial result and the interruption error.
+func runOnce(ctx context.Context, name string, g ligra.View, src uint32, opts ligra.Options) (string, error) {
 	switch name {
 	case "bfs":
-		res := ligra.BFS(g, src, opts)
-		return fmt.Sprintf("BFS from %d: visited %d vertices in %d rounds", src, res.Visited, res.Rounds), nil
+		res, err := ligra.BFSCtx(ctx, g, src, opts)
+		return fmt.Sprintf("BFS from %d: visited %d vertices in %d rounds", src, res.Visited, res.Rounds), err
 	case "bc":
-		res := ligra.BC(g, src, opts)
+		res, err := ligra.BCCtx(ctx, g, src, opts)
 		maxV, maxS := 0, 0.0
 		for v, s := range res.Scores {
 			if s > maxS {
@@ -182,9 +208,9 @@ func runOnce(name string, g ligra.View, src uint32, opts ligra.Options) (string,
 			}
 		}
 		return fmt.Sprintf("BC from %d: %d forward rounds; max dependency %.2f at vertex %d",
-			src, res.Rounds, maxS, maxV), nil
+			src, res.Rounds, maxS, maxV), err
 	case "bc-approx":
-		res := ligra.BCApprox(g, 16, 1, opts)
+		res, err := ligra.BCApproxCtx(ctx, g, 16, 1, opts)
 		maxV, maxS := 0, 0.0
 		for v, s := range res.Scores {
 			if s > maxS {
@@ -192,11 +218,11 @@ func runOnce(name string, g ligra.View, src uint32, opts ligra.Options) (string,
 			}
 		}
 		return fmt.Sprintf("BC-approx (%d sources): max centrality %.1f at vertex %d",
-			len(res.Sources), maxS, maxV), nil
+			len(res.Sources), maxS, maxV), err
 	case "radii":
 		o := ligra.DefaultRadiiOptions()
 		o.EdgeMap = opts
-		res := ligra.Radii(g, o)
+		res, err := ligra.RadiiCtx(ctx, g, o)
 		maxR := int32(-1)
 		for _, r := range res.Radii {
 			if r > maxR {
@@ -204,24 +230,24 @@ func runOnce(name string, g ligra.View, src uint32, opts ligra.Options) (string,
 			}
 		}
 		return fmt.Sprintf("Radii (K=%d): %d rounds; estimated diameter lower bound %d",
-			len(res.Sources), res.Rounds, maxR), nil
+			len(res.Sources), res.Rounds, maxR), err
 	case "components":
-		res := ligra.ConnectedComponents(g, opts)
-		return fmt.Sprintf("Components: %d components in %d rounds", res.Components, res.Rounds), nil
+		res, err := ligra.ConnectedComponentsCtx(ctx, g, opts)
+		return fmt.Sprintf("Components: %d components in %d rounds", res.Components, res.Rounds), err
 	case "pagerank":
 		o := ligra.DefaultPageRankOptions()
 		o.EdgeMap = opts
-		res := ligra.PageRank(g, o)
-		return fmt.Sprintf("PageRank: %d iterations, final L1 change %.3g", res.Iterations, res.Err), nil
+		res, err := ligra.PageRankCtx(ctx, g, o)
+		return fmt.Sprintf("PageRank: %d iterations, final L1 change %.3g", res.Iterations, res.Err), err
 	case "pagerank-delta":
 		o := ligra.DefaultPageRankOptions()
 		o.EdgeMap = opts
-		res := ligra.PageRankDelta(g, o, 1e-3)
-		return fmt.Sprintf("PageRank-Delta: %d iterations, final L1 change %.3g", res.Iterations, res.Err), nil
+		res, err := ligra.PageRankDeltaCtx(ctx, g, o, 1e-3)
+		return fmt.Sprintf("PageRank-Delta: %d iterations, final L1 change %.3g", res.Iterations, res.Err), err
 	case "bellman-ford":
-		res := ligra.BellmanFord(g, src, opts)
+		res, err := ligra.BellmanFordCtx(ctx, g, src, opts)
 		if res.NegativeCycle {
-			return "Bellman-Ford: negative cycle detected", nil
+			return "Bellman-Ford: negative cycle detected", err
 		}
 		reached := 0
 		for _, d := range res.Dist {
@@ -229,10 +255,10 @@ func runOnce(name string, g ligra.View, src uint32, opts ligra.Options) (string,
 				reached++
 			}
 		}
-		return fmt.Sprintf("Bellman-Ford from %d: reached %d vertices in %d rounds", src, reached, res.Rounds), nil
+		return fmt.Sprintf("Bellman-Ford from %d: reached %d vertices in %d rounds", src, reached, res.Rounds), err
 	case "delta-stepping":
-		res, err := ligra.DeltaStepping(g, src, 0, opts)
-		if err != nil {
+		res, err := ligra.DeltaSteppingCtx(ctx, g, src, 0, opts)
+		if res == nil {
 			return "", err
 		}
 		reached := 0
@@ -242,22 +268,22 @@ func runOnce(name string, g ligra.View, src uint32, opts ligra.Options) (string,
 			}
 		}
 		return fmt.Sprintf("Delta-stepping from %d: reached %d vertices over %d buckets (%d phases)",
-			src, reached, res.Buckets, res.Phases), nil
+			src, reached, res.Buckets, res.Phases), err
 	case "kcore":
-		res := ligra.KCore(g, opts)
-		return fmt.Sprintf("KCore: degeneracy %d in %d peeling rounds", res.MaxCore, res.Rounds), nil
+		res, err := ligra.KCoreCtx(ctx, g, opts)
+		return fmt.Sprintf("KCore: degeneracy %d in %d peeling rounds", res.MaxCore, res.Rounds), err
 	case "mis":
-		res := ligra.MIS(g, 123, opts)
+		res, err := ligra.MISCtx(ctx, g, 123, opts)
 		size := 0
 		for _, in := range res.InSet {
 			if in {
 				size++
 			}
 		}
-		return fmt.Sprintf("MIS: %d vertices in %d rounds", size, res.Rounds), nil
+		return fmt.Sprintf("MIS: %d vertices in %d rounds", size, res.Rounds), err
 	case "scc":
-		res := ligra.SCC(g, opts)
-		return fmt.Sprintf("SCC: %d strongly connected components", res.Components), nil
+		res, err := ligra.SCCCtx(ctx, g, opts)
+		return fmt.Sprintf("SCC: %d strongly connected components", res.Components), err
 	case "coloring":
 		res := ligra.Coloring(g, 7, opts)
 		return fmt.Sprintf("Coloring: %d colors in %d rounds", res.NumColors, res.Rounds), nil
@@ -268,9 +294,9 @@ func runOnce(name string, g ligra.View, src uint32, opts ligra.Options) (string,
 		res := ligra.ConnectedComponentsLDD(g, 0.2, 7, opts)
 		return fmt.Sprintf("Components (LDD contraction): %d components", res.Components), nil
 	case "eccentricity":
-		res := ligra.TwoPassEccentricity(g, 64, 7, opts)
+		res, err := ligra.TwoPassEccentricityCtx(ctx, g, 64, 7, opts)
 		return fmt.Sprintf("Two-pass eccentricity: diameter >= %d (%d rounds)",
-			res.DiameterLowerBound, res.Rounds), nil
+			res.DiameterLowerBound, res.Rounds), err
 	case "densest":
 		res := ligra.DensestSubgraph(g, opts)
 		return fmt.Sprintf("Densest subgraph: %d vertices, density %.3f (%d peels)",

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"sync/atomic"
 
 	"ligra/internal/atomicx"
@@ -34,6 +35,21 @@ type BCResult struct {
 // delta[d] += sigma[d]/sigma[s] * (1 + delta[s]) from each successor s one
 // level deeper.
 func BC(g graph.View, source uint32, opts core.Options) *BCResult {
+	res, err := BCCtx(nil, g, source, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// BCCtx is BC with cooperative cancellation, observed per chunk in both
+// the forward and the backward sweep. On interruption it returns the
+// state computed so far — Levels and NumPaths are valid for all completed
+// forward rounds; Scores holds whatever dependency mass the backward
+// sweep had accumulated — together with a *RoundError (its Round counts
+// forward rounds during the forward phase, and remaining backward levels
+// during the backward phase).
+func BCCtx(ctx context.Context, g graph.View, source uint32, opts core.Options) (*BCResult, error) {
 	n := g.NumVertices()
 	numPaths := atomicx.NewFloat64Slice(n)
 	levels := make([]int32, n)
@@ -68,11 +84,26 @@ func BC(g graph.View, source uint32, opts core.Options) *BCResult {
 		Cond: func(d uint32) bool { return visited[d] == 0 },
 	}
 
+	opts = withCtx(opts, ctx)
+	delta := atomicx.NewFloat64Slice(n)
+	result := func() *BCResult {
+		return &BCResult{
+			Scores:   delta.ToSlice(),
+			NumPaths: numPaths.ToSlice(),
+			Levels:   levels,
+			Rounds:   int(roundLoad(&round)) - 1,
+		}
+	}
+
 	frontiers := []*core.VertexSubset{core.NewSingle(n, source)}
 	frontier := frontiers[0]
 	for !frontier.IsEmpty() {
 		atomic.AddInt32(&round, 1)
-		frontier = core.EdgeMap(g, frontier, fwd, opts)
+		next, err := core.EdgeMapCtx(g, frontier, fwd, opts)
+		if err != nil {
+			return result(), roundErr("bc", int(roundLoad(&round))-1, err)
+		}
+		frontier = next
 		core.VertexMap(frontier, func(v uint32) { visited[v] = 1 })
 		if !frontier.IsEmpty() {
 			frontiers = append(frontiers, frontier)
@@ -86,7 +117,6 @@ func BC(g graph.View, source uint32, opts core.Options) *BCResult {
 	// with the deeper frontier as sources pushes exactly along those
 	// reversed edges, and Cond restricts targets to the next-shallower
 	// level.
-	delta := atomicx.NewFloat64Slice(n)
 	backRound := int32(0)
 	bwd := core.EdgeFuncs{
 		Update: func(s, d uint32, _ int32) bool {
@@ -110,7 +140,9 @@ func BC(g graph.View, source uint32, opts core.Options) *BCResult {
 	bwdOpts.NoOutput = true
 	for i := len(frontiers) - 1; i >= 1; i-- {
 		atomic.StoreInt32(&backRound, int32(i))
-		core.EdgeMap(gT, frontiers[i], bwd, bwdOpts)
+		if _, err := core.EdgeMapCtx(gT, frontiers[i], bwd, bwdOpts); err != nil {
+			return result(), roundErr("bc-backward", i, err)
+		}
 	}
 
 	return &BCResult{
@@ -118,7 +150,7 @@ func BC(g graph.View, source uint32, opts core.Options) *BCResult {
 		NumPaths: numPaths.ToSlice(),
 		Levels:   levels,
 		Rounds:   rounds,
-	}
+	}, nil
 }
 
 // TransposeView returns a graph.View presenting g with every edge

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"sync/atomic"
 
 	"ligra/internal/core"
@@ -26,21 +27,47 @@ type BCApproxResult struct {
 // sampling estimator, matching how the paper's evaluation exercises BC
 // "from a (sampled) vertex" while providing whole-graph scores.
 func BCApprox(g graph.View, k int, seed uint64, opts core.Options) *BCApproxResult {
+	res, err := BCApproxCtx(nil, g, k, seed, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// BCApproxCtx is BCApprox with cooperative cancellation, observed between
+// sampled sources and inside each per-source BC run. On interruption it
+// returns the estimator computed from the sources completed so far
+// (scaled by n/completed; all-zero if none completed), with a
+// *RoundError whose Round counts completed sources.
+func BCApproxCtx(ctx context.Context, g graph.View, k int, seed uint64, opts core.Options) (*BCApproxResult, error) {
 	n := g.NumVertices()
 	if k <= 0 || k > n {
 		k = min(n, 16)
 	}
 	sources := sampleVertices(n, k, seed)
 	scores := make([]float64, n)
+	done := 0
+	partial := func(err error) (*BCApproxResult, error) {
+		if done > 0 {
+			scale := float64(n) / float64(done)
+			parallel.For(n, func(i int) { scores[i] *= scale })
+		}
+		return &BCApproxResult{Scores: scores, Sources: sources[:done]},
+			roundErr("bc-approx", done, err)
+	}
 	for _, s := range sources {
-		res := BC(g, s, opts)
+		res, err := BCCtx(ctx, g, s, opts)
+		if err != nil {
+			// Discard the interrupted source's partial dependencies: the
+			// estimator only sums fully accumulated per-source scores.
+			return partial(err)
+		}
 		parallel.For(n, func(i int) {
 			scores[i] += res.Scores[i]
 		})
+		done++
 	}
-	scale := float64(n) / float64(len(sources))
-	parallel.For(n, func(i int) { scores[i] *= scale })
-	return &BCApproxResult{Scores: scores, Sources: sources}
+	return partial(nil)
 }
 
 // LocalClusteringCoefficients returns, for every vertex of a symmetric

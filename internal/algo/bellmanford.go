@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 
@@ -33,6 +34,18 @@ type SSSPResult struct {
 // per round makes each destination join the output frontier once; the
 // flags are reset by a vertexMap over the new frontier.
 func BellmanFord(g graph.View, source uint32, opts core.Options) *SSSPResult {
+	res, err := BellmanFordCtx(nil, g, source, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// BellmanFordCtx is BellmanFord with cooperative cancellation. On
+// interruption Dist holds valid upper bounds on the true shortest-path
+// distances (writeMin only ever tightens them), returned with a
+// *RoundError.
+func BellmanFordCtx(ctx context.Context, g graph.View, source uint32, opts core.Options) (*SSSPResult, error) {
 	n := g.NumVertices()
 	dist := make([]int64, n)
 	parallel.Fill(dist, InfDist)
@@ -53,15 +66,21 @@ func BellmanFord(g graph.View, source uint32, opts core.Options) *SSSPResult {
 	}
 	funcs := core.EdgeFuncs{Update: update, UpdateAtomic: update}
 
+	opts = withCtx(opts, ctx)
 	frontier := core.NewSingle(n, source)
 	rounds := 0
 	for !frontier.IsEmpty() {
 		if rounds >= n {
-			return &SSSPResult{Dist: dist, Rounds: rounds, NegativeCycle: true}
+			return &SSSPResult{Dist: dist, Rounds: rounds, NegativeCycle: true}, nil
 		}
-		frontier = core.EdgeMap(g, frontier, funcs, opts)
+		next, err := core.EdgeMapCtx(g, frontier, funcs, opts)
+		if err != nil {
+			return &SSSPResult{Dist: dist, Rounds: rounds},
+				roundErr("bellman-ford", rounds, err)
+		}
+		frontier = next
 		core.VertexMap(frontier, func(v uint32) { visited[v] = 0 })
 		rounds++
 	}
-	return &SSSPResult{Dist: dist, Rounds: rounds, NegativeCycle: false}
+	return &SSSPResult{Dist: dist, Rounds: rounds, NegativeCycle: false}, nil
 }

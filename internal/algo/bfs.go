@@ -9,6 +9,7 @@
 package algo
 
 import (
+	"context"
 	"sync/atomic"
 
 	"ligra/internal/core"
@@ -31,6 +32,19 @@ type BFSResult struct {
 // expands one level per round; Update claims unvisited destinations with a
 // compare-and-swap on the parent array.
 func BFS(g graph.View, source uint32, opts core.Options) *BFSResult {
+	res, err := BFSCtx(nil, g, source, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// BFSCtx is BFS with cooperative cancellation: ctx (nil = background) is
+// observed at chunk granularity inside every round. On interruption it
+// returns the partial result — Parents holds a valid BFS forest over all
+// vertices claimed so far — together with a *RoundError wrapping the
+// cause.
+func BFSCtx(ctx context.Context, g graph.View, source uint32, opts core.Options) (*BFSResult, error) {
 	n := g.NumVertices()
 	parents := make([]uint32, n)
 	parallel.Fill(parents, core.None)
@@ -52,17 +66,23 @@ func BFS(g graph.View, source uint32, opts core.Options) *BFSResult {
 		Cond: func(d uint32) bool { return parents[d] == core.None },
 	}
 
+	opts = withCtx(opts, ctx)
 	frontier := core.NewSingle(n, source)
 	visited := 1
 	rounds := 0
 	for !frontier.IsEmpty() {
-		frontier = core.EdgeMap(g, frontier, funcs, opts)
+		next, err := core.EdgeMapCtx(g, frontier, funcs, opts)
+		if err != nil {
+			return &BFSResult{Parents: parents, Rounds: rounds, Visited: visited},
+				roundErr("bfs", rounds, err)
+		}
+		frontier = next
 		visited += frontier.Size()
 		if frontier.Size() > 0 {
 			rounds++
 		}
 	}
-	return &BFSResult{Parents: parents, Rounds: rounds, Visited: visited}
+	return &BFSResult{Parents: parents, Rounds: rounds, Visited: visited}, nil
 }
 
 // BFSLevels derives per-vertex BFS levels (distance in edges from the
@@ -70,6 +90,17 @@ func BFS(g graph.View, source uint32, opts core.Options) *BFSResult {
 // counter. It shares BFS's edgeMap structure and exists because several
 // experiments report level-by-level behaviour.
 func BFSLevels(g graph.View, source uint32, opts core.Options) []int32 {
+	levels, err := BFSLevelsCtx(nil, g, source, opts)
+	if err != nil {
+		panic(err)
+	}
+	return levels
+}
+
+// BFSLevelsCtx is BFSLevels with cooperative cancellation. On
+// interruption the returned slice holds correct levels for every vertex
+// reached in completed rounds (-1 elsewhere) alongside a *RoundError.
+func BFSLevelsCtx(ctx context.Context, g graph.View, source uint32, opts core.Options) ([]int32, error) {
 	n := g.NumVertices()
 	levels := make([]int32, n)
 	parallel.Fill(levels, int32(-1))
@@ -89,10 +120,15 @@ func BFSLevels(g graph.View, source uint32, opts core.Options) []int32 {
 		},
 		Cond: func(d uint32) bool { return levels[d] == -1 },
 	}
+	opts = withCtx(opts, ctx)
 	frontier := core.NewSingle(n, source)
 	for !frontier.IsEmpty() {
 		round++
-		frontier = core.EdgeMap(g, frontier, funcs, opts)
+		next, err := core.EdgeMapCtx(g, frontier, funcs, opts)
+		if err != nil {
+			return levels, roundErr("bfs-levels", int(round-1), err)
+		}
+		frontier = next
 	}
-	return levels
+	return levels, nil
 }

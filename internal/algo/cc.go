@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"sync/atomic"
 
 	"ligra/internal/atomicx"
@@ -36,6 +37,19 @@ type CCResult struct {
 // per-round "first change" test makes frontier membership near-unique and a
 // deduplication pass removes the remaining repeats.
 func ConnectedComponents(g graph.View, opts core.Options) *CCResult {
+	res, err := ConnectedComponentsCtx(nil, g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ConnectedComponentsCtx is ConnectedComponents with cooperative
+// cancellation. On interruption the partial result's Labels form a valid
+// coarsening of the true components (every label is some member's ID and
+// propagation simply hasn't converged); Components counts the labels that
+// are still their own representative.
+func ConnectedComponentsCtx(ctx context.Context, g graph.View, opts core.Options) (*CCResult, error) {
 	n := g.NumVertices()
 	ids := make([]uint32, n)
 	prev := make([]uint32, n)
@@ -56,15 +70,25 @@ func ConnectedComponents(g graph.View, opts core.Options) *CCResult {
 	// so sparse rounds may emit duplicates.
 	opts.RemoveDuplicates = true
 
+	opts = withCtx(opts, ctx)
 	frontier := core.NewAll(n)
 	rounds := 0
+	finish := func(err error) (*CCResult, error) {
+		// A label l names a component iff its own label is itself.
+		components := parallel.CountFunc(n, func(i int) bool { return ids[i] == uint32(i) })
+		return &CCResult{Labels: ids, Components: components, Rounds: rounds},
+			roundErr("components", rounds, err)
+	}
 	for !frontier.IsEmpty() {
-		core.VertexMap(frontier, func(v uint32) { prev[v] = ids[v] })
-		frontier = core.EdgeMap(g, frontier, funcs, opts)
+		if err := core.VertexMapCtx(ctx, frontier, func(v uint32) { prev[v] = ids[v] }); err != nil {
+			return finish(err)
+		}
+		next, err := core.EdgeMapCtx(g, frontier, funcs, opts)
+		if err != nil {
+			return finish(err)
+		}
+		frontier = next
 		rounds++
 	}
-
-	// A label l names a component iff its own label is itself.
-	components := parallel.CountFunc(n, func(i int) bool { return ids[i] == uint32(i) })
-	return &CCResult{Labels: ids, Components: components, Rounds: rounds}
+	return finish(nil)
 }

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 
@@ -35,6 +36,23 @@ type DeltaSteppingResult struct {
 // delta <= 0 selects a simple heuristic (the average edge weight + 1).
 // Negative edge weights are rejected.
 func DeltaStepping(g graph.View, source uint32, delta int64, opts core.Options) (*DeltaSteppingResult, error) {
+	res, err := DeltaSteppingCtx(nil, g, source, delta, opts)
+	var pe *parallel.PanicError
+	if errors.As(err, &pe) {
+		// Preserve the historical contract: worker panics propagate as
+		// panics from the non-ctx entry point; only input errors return.
+		panic(pe)
+	}
+	return res, err
+}
+
+// DeltaSteppingCtx is DeltaStepping with cooperative cancellation,
+// observed between buckets, between light-edge fixpoint phases, and at
+// chunk granularity inside every edgeMap. On interruption Dist holds
+// valid upper bounds on the true distances (writeMin only tightens),
+// returned with a *RoundError whose Round counts completed edgeMap
+// phases.
+func DeltaSteppingCtx(ctx context.Context, g graph.View, source uint32, delta int64, opts core.Options) (*DeltaSteppingResult, error) {
 	n := g.NumVertices()
 	var negErr atomic.Bool
 	if delta <= 0 {
@@ -114,8 +132,16 @@ func DeltaStepping(g graph.View, source uint32, delta int64, opts core.Options) 
 		core.VertexMap(out, func(v uint32) { visited[v] = 0 })
 	}
 
+	opts = withCtx(opts, ctx)
 	nBuckets, phases := 0, 0
+	partial := func(err error) (*DeltaSteppingResult, error) {
+		return &DeltaSteppingResult{Dist: dist, Buckets: nBuckets, Phases: phases},
+			roundErr("delta-stepping", phases, err)
+	}
 	for {
+		if err := ctxErr(ctx); err != nil {
+			return partial(err)
+		}
 		k, cur, ok := bkts.Next()
 		if !ok {
 			break
@@ -130,7 +156,10 @@ func DeltaStepping(g graph.View, source uint32, delta int64, opts core.Options) 
 		}
 		for len(cur) > 0 {
 			frontier := core.NewSparse(n, cur)
-			out := core.EdgeMap(g, frontier, lightFuncs, opts)
+			out, err := core.EdgeMapCtx(g, frontier, lightFuncs, opts)
+			if err != nil {
+				return partial(err)
+			}
 			resetVisited(out)
 			phases++
 			cur = nil
@@ -153,7 +182,10 @@ func DeltaStepping(g graph.View, source uint32, delta int64, opts core.Options) 
 		// One heavy-edge pass from everything settled in this bucket;
 		// heavy targets land strictly beyond bucket k.
 		frontier := core.NewSparse(n, settled)
-		out := core.EdgeMap(g, frontier, heavyFuncs, opts)
+		out, err := core.EdgeMapCtx(g, frontier, heavyFuncs, opts)
+		if err != nil {
+			return partial(err)
+		}
 		resetVisited(out)
 		phases++
 		out.ForEachSeq(func(v uint32) {

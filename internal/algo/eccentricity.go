@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"sort"
 
 	"ligra/internal/core"
@@ -27,6 +28,18 @@ type EccentricityResult struct {
 // Estimates are lower bounds that typically approach the true
 // eccentricities on small-diameter graphs.
 func TwoPassEccentricity(g graph.View, k int, seed uint64, opts core.Options) *EccentricityResult {
+	res, err := TwoPassEccentricityCtx(nil, g, k, seed, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// TwoPassEccentricityCtx is TwoPassEccentricity with cooperative
+// cancellation threaded through both multi-BFS passes. On interruption
+// Ecc holds the per-vertex maximum over whatever rounds completed (still
+// valid lower bounds) with a *RoundError.
+func TwoPassEccentricityCtx(ctx context.Context, g graph.View, k int, seed uint64, opts core.Options) (*EccentricityResult, error) {
 	n := g.NumVertices()
 	if k <= 0 || k > 64 {
 		k = 64
@@ -35,7 +48,14 @@ func TwoPassEccentricity(g graph.View, k int, seed uint64, opts core.Options) *E
 		k = n
 	}
 	// Pass 1: random sample.
-	pass1 := Radii(g, RadiiOptions{K: k, Seed: seed, EdgeMap: opts})
+	pass1, err := RadiiCtx(ctx, g, RadiiOptions{K: k, Seed: seed, EdgeMap: opts})
+	if err != nil {
+		return &EccentricityResult{
+			Ecc:                pass1.Radii,
+			DiameterLowerBound: maxOrMinusOne(pass1.Radii),
+			Rounds:             pass1.Rounds,
+		}, roundErr("eccentricity", pass1.Rounds, err)
+	}
 
 	// Peripheral candidates: the k vertices with the largest pass-1
 	// estimates (ties by ID for determinism).
@@ -65,7 +85,7 @@ func TwoPassEccentricity(g graph.View, k int, seed uint64, opts core.Options) *E
 
 	// Pass 2: multi-BFS from the periphery via the same bit-vector
 	// machinery.
-	pass2, rounds2 := radiiFromSources(g, sources2, opts)
+	pass2, rounds2, err2 := radiiFromSources(ctx, g, sources2, opts)
 
 	ecc := make([]int32, n)
 	var diam int32 = -1
@@ -79,9 +99,21 @@ func TwoPassEccentricity(g graph.View, k int, seed uint64, opts core.Options) *E
 			diam = e
 		}
 	}
-	return &EccentricityResult{
+	res := &EccentricityResult{
 		Ecc:                ecc,
 		DiameterLowerBound: diam,
 		Rounds:             pass1.Rounds + rounds2,
 	}
+	return res, roundErr("eccentricity", res.Rounds, err2)
+}
+
+// maxOrMinusOne returns the maximum of xs, or -1 for an empty slice.
+func maxOrMinusOne(xs []int32) int32 {
+	m := int32(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }

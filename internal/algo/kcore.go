@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"sync/atomic"
 
 	"ligra/internal/buckets"
@@ -28,16 +29,40 @@ type KCoreResult struct {
 // next peel set exactly when its degree first drops below k, which the
 // fetch-and-add detects without extra flags.
 func KCore(g graph.View, opts core.Options) *KCoreResult {
+	res, err := KCoreCtx(nil, g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// KCoreCtx is KCore with cooperative cancellation, observed before each
+// peel round and at chunk granularity inside the peeling edgeMaps. On
+// interruption Coreness is exact for every already-peeled vertex (-1 for
+// vertices not yet assigned) and is returned with a *RoundError.
+func KCoreCtx(ctx context.Context, g graph.View, opts core.Options) (*KCoreResult, error) {
 	n := g.NumVertices()
 	coreness := make([]int32, n)
 	parallel.Fill(coreness, int32(-1))
 	deg := make([]int32, n)
 	parallel.For(n, func(i int) { deg[i] = int32(g.OutDegree(uint32(i))) })
 
+	opts = withCtx(opts, ctx)
 	alive := n
 	rounds := 0
+	partial := func(err error) (*KCoreResult, error) {
+		maxCore := int32(0)
+		if n > 0 {
+			maxCore = parallel.Max(coreness)
+		}
+		return &KCoreResult{Coreness: coreness, MaxCore: maxCore, Rounds: rounds},
+			roundErr("kcore", rounds, err)
+	}
 	k := int32(1)
 	for alive > 0 {
+		if err := ctxErr(ctx); err != nil {
+			return partial(err)
+		}
 		peel := core.NewFromFunc(n, func(v uint32) bool {
 			return coreness[v] == -1 && deg[v] < k
 		})
@@ -59,16 +84,16 @@ func KCore(g graph.View, opts core.Options) *KCoreResult {
 		for !peel.IsEmpty() {
 			core.VertexMap(peel, func(v uint32) { coreness[v] = k - 1 })
 			alive -= peel.Size()
-			peel = core.EdgeMap(g, peel, funcs, opts)
+			next, err := core.EdgeMapCtx(g, peel, funcs, opts)
+			if err != nil {
+				return partial(err)
+			}
+			peel = next
 			rounds++
 		}
 		k++
 	}
-	maxCore := int32(0)
-	if n > 0 {
-		maxCore = parallel.Max(coreness)
-	}
-	return &KCoreResult{Coreness: coreness, MaxCore: maxCore, Rounds: rounds}
+	return partial(nil)
 }
 
 // KCoreJulienne computes the same k-core decomposition using the
@@ -79,6 +104,18 @@ func KCore(g graph.View, opts core.Options) *KCoreResult {
 // Unlike KCore's scan for the next peel set (O(|V|) per round), the
 // bucket structure charges each vertex move O(1).
 func KCoreJulienne(g graph.View, opts core.Options) *KCoreResult {
+	res, err := KCoreJulienneCtx(nil, g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// KCoreJulienneCtx is KCoreJulienne with cooperative cancellation,
+// observed before each bucket extraction and inside each peeling edgeMap.
+// The partial-result contract matches KCoreCtx: Coreness is exact for
+// peeled vertices, -1 otherwise.
+func KCoreJulienneCtx(ctx context.Context, g graph.View, opts core.Options) (*KCoreResult, error) {
 	n := g.NumVertices()
 	coreness := make([]int32, n)
 	parallel.Fill(coreness, int32(-1))
@@ -90,6 +127,7 @@ func KCoreJulienne(g graph.View, opts core.Options) *KCoreResult {
 	// Touched neighbors join the output frontier once per peel round;
 	// duplicates are possible (several peeled neighbors), so dedup.
 	opts.RemoveDuplicates = true
+	opts = withCtx(opts, ctx)
 	var k int64
 	funcs := core.EdgeFuncs{
 		UpdateAtomic: func(_, d uint32, _ int32) bool {
@@ -104,6 +142,10 @@ func KCoreJulienne(g graph.View, opts core.Options) *KCoreResult {
 	rounds := 0
 	maxCore := int32(0)
 	for {
+		if err := ctxErr(ctx); err != nil {
+			return &KCoreResult{Coreness: coreness, MaxCore: maxCore, Rounds: rounds},
+				roundErr("kcore-julienne", rounds, err)
+		}
 		id, members, ok := bkts.Next()
 		if !ok {
 			break
@@ -117,7 +159,11 @@ func KCoreJulienne(g graph.View, opts core.Options) *KCoreResult {
 			maxCore = int32(k)
 		}
 		frontier := core.NewSparse(n, members)
-		out := core.EdgeMap(g, frontier, funcs, opts)
+		out, err := core.EdgeMapCtx(g, frontier, funcs, opts)
+		if err != nil {
+			return &KCoreResult{Coreness: coreness, MaxCore: maxCore, Rounds: rounds},
+				roundErr("kcore-julienne", rounds, err)
+		}
 		out.ForEachSeq(func(d uint32) {
 			if coreness[d] != -1 {
 				return
@@ -132,5 +178,5 @@ func KCoreJulienne(g graph.View, opts core.Options) *KCoreResult {
 	if n == 0 {
 		maxCore = 0
 	}
-	return &KCoreResult{Coreness: coreness, MaxCore: maxCore, Rounds: rounds}
+	return &KCoreResult{Coreness: coreness, MaxCore: maxCore, Rounds: rounds}, nil
 }

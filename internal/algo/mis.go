@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"sync/atomic"
 
 	"ligra/internal/core"
@@ -29,6 +30,19 @@ const (
 // (strictly higher priority, ties broken by ID) join the set, and their
 // neighbors drop out. Expected O(log n) rounds.
 func MIS(g graph.View, seed uint64, opts core.Options) *MISResult {
+	res, err := MISCtx(nil, g, seed, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// MISCtx is MIS with cooperative cancellation, observed before each
+// selection round and at chunk granularity inside the knock-out edgeMap.
+// On interruption InSet is a valid *independent* set (every member was
+// selected as a round's dominator) that may not yet be maximal; it is
+// returned with a *RoundError.
+func MISCtx(ctx context.Context, g graph.View, seed uint64, opts core.Options) (*MISResult, error) {
 	n := g.NumVertices()
 	status := make([]int32, n)
 	pri := make([]uint64, n)
@@ -40,9 +54,20 @@ func MIS(g graph.View, seed uint64, opts core.Options) *MISResult {
 		return pri[a] > pri[b] || (pri[a] == pri[b] && a > b)
 	}
 
+	opts = withCtx(opts, ctx)
 	undecided := core.NewAll(n)
 	rounds := 0
+	partial := func(err error) (*MISResult, error) {
+		in := make([]bool, n)
+		for v := 0; v < n; v++ {
+			in[v] = atomic.LoadInt32(&status[v]) == misIn
+		}
+		return &MISResult{InSet: in, Rounds: rounds}, roundErr("mis", rounds, err)
+	}
 	for !undecided.IsEmpty() {
+		if err := ctxErr(ctx); err != nil {
+			return partial(err)
+		}
 		// Roots: undecided vertices dominating all undecided neighbors.
 		roots := core.VertexFilter(undecided, func(v uint32) bool {
 			if atomic.LoadInt32(&status[v]) != misUndecided {
@@ -67,17 +92,14 @@ func MIS(g graph.View, seed uint64, opts core.Options) *MISResult {
 		}
 		emOpts := opts
 		emOpts.NoOutput = true
-		core.EdgeMap(g, roots, funcs, emOpts)
+		if _, err := core.EdgeMapCtx(g, roots, funcs, emOpts); err != nil {
+			return partial(err)
+		}
 		// Remaining undecided vertices.
 		undecided = core.VertexFilter(undecided, func(v uint32) bool {
 			return atomic.LoadInt32(&status[v]) == misUndecided
 		})
 		rounds++
 	}
-
-	in := make([]bool, n)
-	for v := 0; v < n; v++ {
-		in[v] = status[v] == misIn
-	}
-	return &MISResult{InSet: in, Rounds: rounds}
+	return partial(nil)
 }

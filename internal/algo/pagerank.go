@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"math"
 
 	"ligra/internal/atomicx"
@@ -44,9 +45,23 @@ type PageRankResult struct {
 // (out-degree 0) have their rank redistributed uniformly, the standard
 // correction that preserves probability mass.
 func PageRank(g graph.View, opts PageRankOptions) *PageRankResult {
+	res, err := PageRankCtx(nil, g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// PageRankCtx is PageRank with cooperative cancellation: ctx (nil =
+// background) is checked before each power iteration and at chunk
+// granularity inside the edgeMap. On interruption it returns the ranks of
+// the last fully completed iteration (rank updates are only committed
+// after a round's edgeMap finishes, so a round aborted mid-traversal
+// leaves Ranks untouched) together with a *RoundError.
+func PageRankCtx(ctx context.Context, g graph.View, opts PageRankOptions) (*PageRankResult, error) {
 	n := g.NumVertices()
 	if n == 0 {
-		return &PageRankResult{Ranks: nil}
+		return &PageRankResult{Ranks: nil}, ctxErr(ctx)
 	}
 	if opts.Damping <= 0 || opts.Damping >= 1 {
 		opts.Damping = 0.85
@@ -74,17 +89,24 @@ func PageRank(g graph.View, opts PageRankOptions) *PageRankResult {
 			return true
 		},
 	}
-	emOpts := opts.EdgeMap
+	emOpts := withCtx(opts.EdgeMap, ctx)
 	emOpts.NoOutput = true
 
 	iters := 0
 	errL1 := math.Inf(1)
+	partial := func(err error) (*PageRankResult, error) {
+		return &PageRankResult{Ranks: p, Iterations: iters, Err: errL1},
+			roundErr("pagerank", iters, err)
+	}
 	for {
 		if opts.MaxIterations > 0 && iters >= opts.MaxIterations {
 			break
 		}
 		if opts.Epsilon > 0 && errL1 < opts.Epsilon {
 			break
+		}
+		if err := ctxErr(ctx); err != nil {
+			return partial(err)
 		}
 		// Dangling mass: rank held by out-degree-0 vertices, spread evenly.
 		dangling := parallel.SumFunc(n, func(i int) float64 {
@@ -102,7 +124,11 @@ func PageRank(g graph.View, opts PageRankOptions) *PageRankResult {
 			nghSum.StoreNonAtomic(i, 0)
 		})
 
-		core.EdgeMap(g, all, funcs, emOpts)
+		if _, err := core.EdgeMapCtx(g, all, funcs, emOpts); err != nil {
+			// p has not been touched this round: the ranks are exactly
+			// those of the last completed iteration.
+			return partial(err)
+		}
 
 		base := (1-opts.Damping)/float64(n) + opts.Damping*dangling/float64(n)
 		errL1 = parallel.SumFunc(n, func(i int) float64 {
@@ -113,7 +139,7 @@ func PageRank(g graph.View, opts PageRankOptions) *PageRankResult {
 		})
 		iters++
 	}
-	return &PageRankResult{Ranks: p, Iterations: iters, Err: errL1}
+	return &PageRankResult{Ranks: p, Iterations: iters, Err: errL1}, nil
 }
 
 // PageRankDelta runs the paper's PageRank-Delta variant (§5.5): only
@@ -121,9 +147,21 @@ func PageRank(g graph.View, opts PageRankOptions) *PageRankResult {
 // current rank stay in the frontier, so later iterations touch a shrinking
 // active set instead of the whole graph.
 func PageRankDelta(g graph.View, opts PageRankOptions, delta float64) *PageRankResult {
+	res, err := PageRankDeltaCtx(nil, g, opts, delta)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// PageRankDeltaCtx is PageRankDelta with cooperative cancellation. On
+// interruption it returns the accumulated ranks of the last completed
+// iteration plus a *RoundError (the same commit-after-edgeMap contract as
+// PageRankCtx).
+func PageRankDeltaCtx(ctx context.Context, g graph.View, opts PageRankOptions, delta float64) (*PageRankResult, error) {
 	n := g.NumVertices()
 	if n == 0 {
-		return &PageRankResult{Ranks: nil}
+		return &PageRankResult{Ranks: nil}, ctxErr(ctx)
 	}
 	if opts.Damping <= 0 || opts.Damping >= 1 {
 		opts.Damping = 0.85
@@ -152,18 +190,25 @@ func PageRankDelta(g graph.View, opts PageRankOptions, delta float64) *PageRankR
 			return true
 		},
 	}
-	emOpts := opts.EdgeMap
+	emOpts := withCtx(opts.EdgeMap, ctx)
 	emOpts.NoOutput = true
 
 	frontier := core.NewAll(n)
 	iters := 0
 	errL1 := math.Inf(1)
+	partial := func(err error) (*PageRankResult, error) {
+		return &PageRankResult{Ranks: p, Iterations: iters, Err: errL1},
+			roundErr("pagerank-delta", iters, err)
+	}
 	for !frontier.IsEmpty() {
 		if opts.MaxIterations > 0 && iters >= opts.MaxIterations {
 			break
 		}
 		if opts.Epsilon > 0 && errL1 < opts.Epsilon {
 			break
+		}
+		if err := ctxErr(ctx); err != nil {
+			return partial(err)
 		}
 		core.VertexMap(frontier, func(v uint32) {
 			if deg := g.OutDegree(v); deg > 0 {
@@ -174,7 +219,9 @@ func PageRankDelta(g graph.View, opts PageRankOptions, delta float64) *PageRankR
 		})
 		parallel.For(n, func(i int) { nghSum.StoreNonAtomic(i, 0) })
 
-		core.EdgeMap(g, frontier, funcs, emOpts)
+		if _, err := core.EdgeMapCtx(g, frontier, funcs, emOpts); err != nil {
+			return partial(err)
+		}
 
 		if iters == 0 {
 			// First round: p was implicitly 1/n everywhere, so the rank
@@ -203,5 +250,5 @@ func PageRankDelta(g graph.View, opts PageRankOptions, delta float64) *PageRankR
 		})
 		iters++
 	}
-	return &PageRankResult{Ranks: p, Iterations: iters, Err: errL1}
+	return &PageRankResult{Ranks: p, Iterations: iters, Err: errL1}, nil
 }

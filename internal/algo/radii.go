@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"sync/atomic"
 
 	"ligra/internal/atomicx"
@@ -44,6 +45,19 @@ type RadiiResult struct {
 // bits updates its radius estimate to the current round, so the final
 // estimate of v is its distance to the farthest sampled source reaching v.
 func Radii(g graph.View, opts RadiiOptions) *RadiiResult {
+	res, err := RadiiCtx(nil, g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RadiiCtx is Radii with cooperative cancellation, observed before every
+// multi-BFS round and at chunk granularity inside the edgeMaps. On
+// interruption Radii holds lower bounds on the true estimates — every
+// non-negative entry is a genuine distance to some sampled source —
+// returned with a *RoundError.
+func RadiiCtx(ctx context.Context, g graph.View, opts RadiiOptions) (*RadiiResult, error) {
 	n := g.NumVertices()
 	if opts.K <= 0 || opts.K > 64 {
 		opts.K = 64
@@ -53,15 +67,26 @@ func Radii(g graph.View, opts RadiiOptions) *RadiiResult {
 	}
 	// Sample K distinct sources deterministically.
 	sources := sampleVertices(n, opts.K, opts.Seed)
-	radii, rounds := radiiFromSources(g, sources, opts.EdgeMap)
-	return &RadiiResult{Radii: radii, Sources: sources, Rounds: rounds}
+	radii, rounds, err := radiiFromSources(ctx, g, sources, opts.EdgeMap)
+	return &RadiiResult{Radii: radii, Sources: sources, Rounds: rounds},
+		roundErr("radii", rounds, err)
 }
 
-// RadiiMulti extends the estimator beyond the paper's K=64 by running
-// ceil(K/64) batches of the 64-way shared-bit-vector multi-BFS and
-// keeping the per-vertex maximum; sharing happens within each batch.
+// RadiiMulti extends the estimator beyond the paper's K=64: any number of
+// sources is accepted and processed in batches of 64 by radiiFromSources.
 // Sources are sampled without replacement across the whole run.
 func RadiiMulti(g graph.View, k int, seed uint64, opts core.Options) *RadiiResult {
+	res, err := RadiiMultiCtx(nil, g, k, seed, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RadiiMultiCtx is RadiiMulti with cooperative cancellation; the
+// partial-result contract matches RadiiCtx (estimates from every batch
+// and round that completed are retained).
+func RadiiMultiCtx(ctx context.Context, g graph.View, k int, seed uint64, opts core.Options) (*RadiiResult, error) {
 	n := g.NumVertices()
 	if k <= 0 {
 		k = 64
@@ -70,6 +95,22 @@ func RadiiMulti(g graph.View, k int, seed uint64, opts core.Options) *RadiiResul
 		k = n
 	}
 	sources := sampleVertices(n, k, seed)
+	radii, rounds, err := radiiFromSources(ctx, g, sources, opts)
+	return &RadiiResult{Radii: radii, Sources: sources, Rounds: rounds},
+		roundErr("radii-multi", rounds, err)
+}
+
+// radiiFromSources runs the shared-bit-vector multi-BFS from the given
+// sources and returns per-vertex max distances from the sources that
+// reach them (-1 when unreached) plus the max number of rounds. Sources
+// beyond the 64 that fit one visit word are handled by running batches of
+// 64 and keeping the per-vertex maximum (bit-sharing happens within each
+// batch); no source count panics.
+func radiiFromSources(ctx context.Context, g graph.View, sources []uint32, emOpts core.Options) ([]int32, int, error) {
+	if len(sources) <= 64 {
+		return radiiBatch(ctx, g, sources, emOpts)
+	}
+	n := g.NumVertices()
 	radii := make([]int32, n)
 	parallel.Fill(radii, int32(-1))
 	rounds := 0
@@ -78,7 +119,7 @@ func RadiiMulti(g graph.View, k int, seed uint64, opts core.Options) *RadiiResul
 		if hi > len(sources) {
 			hi = len(sources)
 		}
-		batch, r := radiiFromSources(g, sources[lo:hi], opts)
+		batch, r, err := radiiBatch(ctx, g, sources[lo:hi], emOpts)
 		if r > rounds {
 			rounds = r
 		}
@@ -87,18 +128,17 @@ func RadiiMulti(g graph.View, k int, seed uint64, opts core.Options) *RadiiResul
 				radii[i] = batch[i]
 			}
 		})
+		if err != nil {
+			return radii, rounds, err
+		}
 	}
-	return &RadiiResult{Radii: radii, Sources: sources, Rounds: rounds}
+	return radii, rounds, nil
 }
 
-// radiiFromSources runs the shared-bit-vector multi-BFS from the given
-// sources (at most 64) and returns per-vertex max distances from the
-// sources that reach them (-1 when unreached) plus the number of rounds.
-func radiiFromSources(g graph.View, sources []uint32, emOpts core.Options) ([]int32, int) {
+// radiiBatch runs one 64-way shared-bit-vector multi-BFS (at most 64
+// sources, one bit each).
+func radiiBatch(ctx context.Context, g graph.View, sources []uint32, emOpts core.Options) ([]int32, int, error) {
 	n := g.NumVertices()
-	if len(sources) > 64 {
-		panic("algo: at most 64 simultaneous BFS sources")
-	}
 	radii := make([]int32, n)
 	parallel.Fill(radii, int32(-1))
 	visited := make([]uint64, n)
@@ -121,17 +161,22 @@ func radiiFromSources(g graph.View, sources []uint32, emOpts core.Options) ([]in
 	}
 	funcs := core.EdgeFuncs{Update: update, UpdateAtomic: update}
 
+	emOpts = withCtx(emOpts, ctx)
 	frontier := core.NewSparse(n, append([]uint32(nil), sources...))
 	rounds := 0
 	for !frontier.IsEmpty() {
 		atomic.AddInt32(&round, 1)
-		frontier = core.EdgeMap(g, frontier, funcs, emOpts)
+		next, err := core.EdgeMapCtx(g, frontier, funcs, emOpts)
+		if err != nil {
+			return radii, rounds, err
+		}
+		frontier = next
 		core.VertexMap(frontier, func(v uint32) {
 			atomic.StoreUint64(&visited[v], atomic.LoadUint64(&nextVisited[v]))
 		})
 		rounds++
 	}
-	return radii, rounds - 1
+	return radii, rounds - 1, nil
 }
 
 // roundLoad reads the shared round counter; it is only written between

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"sync/atomic"
 
 	"ligra/internal/core"
@@ -25,6 +26,19 @@ type SCCResult struct {
 // crossing SCC, so they recurse independently. Reachability searches are
 // edgeMaps restricted to the active region via Cond.
 func SCC(g graph.View, opts core.Options) *SCCResult {
+	res, err := SCCCtx(nil, g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// SCCCtx is SCC with cooperative cancellation, observed between FW-BW
+// pivot steps and at chunk granularity inside the reachability edgeMaps.
+// On interruption Labels is exact for every component finished so far
+// (core.None for the rest) and Components counts only finished
+// components; the *RoundError's Round counts completed pivot steps.
+func SCCCtx(ctx context.Context, g graph.View, opts core.Options) (*SCCResult, error) {
 	n := g.NumVertices()
 	labels := make([]uint32, n)
 	parallel.Fill(labels, core.None)
@@ -46,7 +60,17 @@ func SCC(g graph.View, opts core.Options) *SCCResult {
 
 	gT := TransposeView(g)
 
+	opts = withCtx(opts, ctx)
+	pivots := 0
+	finish := func(err error) (*SCCResult, error) {
+		components := parallel.CountFunc(n, func(i int) bool { return labels[i] == uint32(i) })
+		return &SCCResult{Labels: labels, Components: components},
+			roundErr("scc", pivots, err)
+	}
 	for len(stack) > 0 {
+		if err := ctxErr(ctx); err != nil {
+			return finish(err)
+		}
 		t := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		// Filter out members already labeled (region changed).
@@ -65,8 +89,15 @@ func SCC(g graph.View, opts core.Options) *SCCResult {
 		// we fix after reachability; any pivot works, use members[0].
 		pivot := members[0]
 
-		fwd := reachableWithin(g, pivot, region, t.id, labels, opts)
-		bwd := reachableWithin(gT, pivot, region, t.id, labels, opts)
+		fwd, err := reachableWithin(g, pivot, region, t.id, labels, opts)
+		if err != nil {
+			return finish(err)
+		}
+		bwd, err := reachableWithin(gT, pivot, region, t.id, labels, opts)
+		if err != nil {
+			return finish(err)
+		}
+		pivots++
 
 		// SCC = fwd ∩ bwd; partition the rest into three new regions.
 		idFwd, idBwd, idRest := nextRegion, nextRegion+1, nextRegion+2
@@ -118,14 +149,16 @@ func SCC(g graph.View, opts core.Options) *SCCResult {
 		}
 	}
 
-	components := parallel.CountFunc(n, func(i int) bool { return labels[i] == uint32(i) })
-	return &SCCResult{Labels: labels, Components: components}
+	return finish(nil)
 }
 
 // reachableWithin runs a BFS from pivot over g's out-edges restricted to
 // unlabeled vertices of the given region, returning the visited bitset.
+// Cancellation (carried inside opts.Context) aborts the traversal and
+// reports the error; the bitset is then incomplete and discarded by the
+// caller.
 func reachableWithin(g graph.View, pivot uint32, region []uint32, id uint32,
-	labels []uint32, opts core.Options) *visitedBits {
+	labels []uint32, opts core.Options) (*visitedBits, error) {
 
 	n := g.NumVertices()
 	visited := newVisitedBits(n)
@@ -143,9 +176,13 @@ func reachableWithin(g graph.View, pivot uint32, region []uint32, id uint32,
 	}
 	frontier := core.NewSingle(n, pivot)
 	for !frontier.IsEmpty() {
-		frontier = core.EdgeMap(g, frontier, funcs, opts)
+		next, err := core.EdgeMapCtx(g, frontier, funcs, opts)
+		if err != nil {
+			return visited, err
+		}
+		frontier = next
 	}
-	return visited
+	return visited, nil
 }
 
 // visitedBits is a minimal atomic bit vector (local to SCC to keep the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"text/tabwriter"
+	"time"
 
 	"ligra/internal/algo"
 	"ligra/internal/compress"
@@ -22,8 +23,27 @@ type Config struct {
 	// experiment; 0 means up to 2*GOMAXPROCS (oversubscription shows the
 	// flat tail on small machines).
 	MaxProcs int
+	// Deadline, when non-zero, is a wall-clock budget for the whole run:
+	// experiments check it between measurements, skip the remainder, and
+	// report the rows completed so far instead of running unbounded.
+	Deadline time.Time
 	// Out receives the rendered tables.
 	Out io.Writer
+}
+
+// Expired reports whether the wall-clock budget (if any) is exhausted.
+func (c Config) Expired() bool {
+	return !c.Deadline.IsZero() && time.Now().After(c.Deadline)
+}
+
+// budgetExhausted prints the partial-results note to w when the budget
+// ran out; callers break out of their measurement loop on true.
+func (c Config) budgetExhausted(w io.Writer) bool {
+	if !c.Expired() {
+		return false
+	}
+	fmt.Fprintln(w, "[budget exhausted: remaining measurements skipped]")
+	return true
 }
 
 func (c Config) rounds() int {
@@ -85,6 +105,9 @@ func Table2(cfg Config) error {
 	for _, in := range suite {
 		base := built[in.Name]
 		for _, app := range Apps() {
+			if cfg.budgetExhausted(w) {
+				return w.Flush()
+			}
 			g := graph.View(base)
 			if app.NeedsWeights {
 				g = WeightGraph(base)
@@ -135,6 +158,9 @@ func Scalability(cfg Config) error {
 	}
 	fmt.Fprintln(w, header)
 	for _, app := range Apps() {
+		if cfg.budgetExhausted(w) {
+			return w.Flush()
+		}
 		g := graph.View(base)
 		if app.NeedsWeights {
 			g = WeightGraph(base)
@@ -228,6 +254,9 @@ func Threshold(cfg Config) error {
 	w := cfg.tab()
 	fmt.Fprintln(w, "Variant\tBFS\tComponents")
 	for _, v := range variants {
+		if cfg.budgetExhausted(w) {
+			break
+		}
 		row := v.label
 		for _, a := range apps {
 			tm := Measure(cfg.rounds(), func() { a.run(v.opts) })
@@ -263,6 +292,9 @@ func DenseForward(cfg Config) error {
 	w := cfg.tab()
 	fmt.Fprintln(w, "Application\tdense (pull)\tdense-forward (push)")
 	for _, a := range apps {
+		if cfg.budgetExhausted(w) {
+			break
+		}
 		t1 := Measure(cfg.rounds(), func() { a.run(core.Options{Mode: core.ForceDense}) })
 		t2 := Measure(cfg.rounds(), func() {
 			a.run(core.Options{Mode: core.ForceDense, DenseForward: true})
@@ -304,6 +336,9 @@ func CompressAblation(cfg Config) error {
 	w := cfg.tab()
 	fmt.Fprintln(w, "Application\tCSR\tcompressed\tslowdown")
 	for _, a := range apps {
+		if cfg.budgetExhausted(w) {
+			break
+		}
 		t1 := Measure(cfg.rounds(), func() { a.run(g) })
 		t2 := Measure(cfg.rounds(), func() { a.run(c) })
 		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.2fx\n",
@@ -348,6 +383,9 @@ func DedupAblation(cfg Config) error {
 	w := cfg.tab()
 	fmt.Fprintln(w, "Application\tscratch (CAS array)\thash set")
 	for _, a := range apps {
+		if cfg.budgetExhausted(w) {
+			break
+		}
 		t1 := Measure(cfg.rounds(), func() { a.run(core.Options{Dedup: core.DedupScratch}) })
 		t2 := Measure(cfg.rounds(), func() { a.run(core.Options{Dedup: core.DedupHash}) })
 		fmt.Fprintf(w, "%s\t%.4f\t%.4f\n", a.name, t1.Median.Seconds(), t2.Median.Seconds())
@@ -374,9 +412,15 @@ func BucketingAblation(cfg Config) error {
 	fmt.Fprintf(cfg.Out, "Bucketing (Julienne extension) on %s (seconds, median of %d)\n", in.Name, cfg.rounds())
 	w := cfg.tab()
 	fmt.Fprintln(w, "Workload\tbaseline\tbucketed")
+	if cfg.budgetExhausted(w) {
+		return w.Flush()
+	}
 	tk1 := Measure(cfg.rounds(), func() { algo.KCore(g, core.Options{}) })
 	tk2 := Measure(cfg.rounds(), func() { algo.KCoreJulienne(g, core.Options{}) })
 	fmt.Fprintf(w, "k-core (scan vs buckets)\t%.4f\t%.4f\n", tk1.Median.Seconds(), tk2.Median.Seconds())
+	if cfg.budgetExhausted(w) {
+		return w.Flush()
+	}
 	tb1 := Measure(cfg.rounds(), func() { algo.BellmanFord(wg, src, core.Options{}) })
 	tb2 := Measure(cfg.rounds(), func() {
 		if _, err := algo.DeltaStepping(wg, src, 0, core.Options{}); err != nil {
@@ -386,6 +430,9 @@ func BucketingAblation(cfg Config) error {
 	fmt.Fprintf(w, "SSSP on rMat (Bellman-Ford vs delta-stepping)\t%.4f\t%.4f\n",
 		tb1.Median.Seconds(), tb2.Median.Seconds())
 
+	if cfg.budgetExhausted(w) {
+		return w.Flush()
+	}
 	// The delta-stepping regime the Julienne paper targets: a weighted
 	// high-diameter mesh with a wide weight range, where Bellman-Ford
 	// re-relaxes wavefront vertices many times.

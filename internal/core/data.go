@@ -79,7 +79,7 @@ func EdgeMapData[T any](g graph.View, u *VertexSubset, f EdgeDataFuncs[T], opts 
 		return NewDataSubset[T](n, nil)
 	}
 
-	outDeg := frontierOutDegrees(g, u)
+	outDeg, _ := frontierOutDegrees(nil, g, u)
 	threshold := opts.Threshold
 	if threshold <= 0 {
 		threshold = g.NumEdges() / DefaultThresholdDenominator

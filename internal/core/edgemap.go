@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ligra/internal/bitset"
+	"ligra/internal/faultinject"
 	"ligra/internal/graph"
 	"ligra/internal/hashtable"
 	"ligra/internal/parallel"
@@ -69,6 +71,12 @@ type Options struct {
 	// Trace, when non-nil, records one entry per EdgeMap call for the
 	// frontier-trace experiments.
 	Trace *Trace
+	// Context, when non-nil, makes the traversal cooperative: EdgeMapCtx
+	// checks it at chunk granularity and aborts with its error, so even a
+	// dense pull over billions of edges returns within one chunk of a
+	// deadline expiring. Plain EdgeMap ignores it (it has no way to report
+	// the error); use EdgeMapCtx.
+	Context context.Context
 }
 
 // DefaultThresholdDenominator is the paper's frontier-size switch constant:
@@ -115,19 +123,52 @@ func putScratch(s []uint32) { scratchPool.Put(s) }
 // The traversal is sparse (push over out-edges of u) or dense (pull over
 // in-edges of all vertices) according to the frontier-size heuristic; see
 // Options to force a mode or tune the threshold.
+//
+// EdgeMap ignores Options.Context (it cannot report a cancellation error);
+// a worker panic propagates as a panic whose value is a
+// *parallel.PanicError. Use EdgeMapCtx for cooperative cancellation.
 func EdgeMap(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *VertexSubset {
+	opts.Context = nil
+	out, err := EdgeMapCtx(g, u, f, opts)
+	if err != nil {
+		// Without a context the only possible error is a contained worker
+		// panic; surface it as the panic the non-ctx API promises.
+		panic(err)
+	}
+	return out
+}
+
+// EdgeMapCtx is EdgeMap with cooperative cancellation and panic
+// containment. The context is taken from opts.Context (nil behaves like
+// context.Background()). Cancellation is observed at chunk granularity:
+// the traversal stops dispatching work within one chunk and returns
+// (nil, ctx.Err()). Updates already applied when the traversal aborts are
+// NOT rolled back — per-vertex state mutated by f keeps all completed
+// writes, which is what gives algorithms their partial results. A panic in
+// a worker is returned as a *parallel.PanicError instead of panicking.
+func EdgeMapCtx(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
 	n := g.NumVertices()
 	if u.UniverseSize() != n {
 		panic("core: EdgeMap frontier universe does not match graph")
+	}
+	faultinject.OnRound()
+	ctx := opts.Context
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	start := time.Now()
 	if u.IsEmpty() {
 		out := NewEmpty(n)
 		traceRecord(opts.Trace, u, 0, false, false, out, start)
-		return out
+		return out, nil
 	}
 
-	outDeg := frontierOutDegrees(g, u)
+	outDeg, err := frontierOutDegrees(ctx, g, u)
+	if err != nil {
+		return nil, err
+	}
 	threshold := opts.Threshold
 	if threshold <= 0 {
 		threshold = g.NumEdges() / DefaultThresholdDenominator
@@ -143,15 +184,18 @@ func EdgeMap(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *VertexSu
 	var out *VertexSubset
 	if dense {
 		if opts.DenseForward {
-			out = edgeMapDenseForward(g, u, f, opts)
+			out, err = edgeMapDenseForward(g, u, f, opts)
 		} else {
-			out = edgeMapDense(g, u, f, opts)
+			out, err = edgeMapDense(g, u, f, opts)
 		}
 	} else {
-		out = edgeMapSparse(g, u, f, opts)
+		out, err = edgeMapSparse(g, u, f, opts)
+	}
+	if err != nil {
+		return nil, err
 	}
 	traceRecord(opts.Trace, u, outDeg, dense, dense && opts.DenseForward, out, start)
-	return out
+	return out, nil
 }
 
 func traceRecord(t *Trace, u *VertexSubset, outDeg int64, dense, fwd bool, out *VertexSubset, start time.Time) {
@@ -171,15 +215,15 @@ func traceRecord(t *Trace, u *VertexSubset, outDeg int64, dense, fwd bool, out *
 
 // frontierOutDegrees computes the total out-degree of the frontier, the
 // quantity the paper's switch heuristic compares against |E|/20.
-func frontierOutDegrees(g graph.View, u *VertexSubset) int64 {
+func frontierOutDegrees(ctx context.Context, g graph.View, u *VertexSubset) (int64, error) {
 	if u.HasSparse() {
 		ids := u.ToSparse()
-		return parallel.SumFunc(len(ids), func(i int) int64 {
+		return parallel.SumFuncCtx(ctx, len(ids), func(i int) int64 {
 			return int64(g.OutDegree(ids[i]))
 		})
 	}
 	d := u.ToDense()
-	return parallel.SumFunc(u.UniverseSize(), func(i int) int64 {
+	return parallel.SumFuncCtx(ctx, u.UniverseSize(), func(i int) int64 {
 		if d.Get(i) {
 			return int64(g.OutDegree(uint32(i)))
 		}
@@ -191,7 +235,7 @@ func frontierOutDegrees(g graph.View, u *VertexSubset) int64 {
 // frontier vertices, collecting successful targets via prefix-sum offsets
 // and a pack. CSR graphs take a raw-slice fast path that avoids the
 // per-edge iterator callback.
-func edgeMapSparse(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *VertexSubset {
+func edgeMapSparse(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
 	n := g.NumVertices()
 	ids := u.ToSparse()
 	update := f.UpdateAtomic
@@ -202,7 +246,7 @@ func edgeMapSparse(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *Ve
 	csr, _ := g.(*graph.Graph)
 
 	if opts.NoOutput {
-		parallel.For(len(ids), func(i int) {
+		err := parallel.ForCtx(opts.Context, len(ids), func(i int) {
 			s := ids[i]
 			if csr != nil {
 				row, wts := csr.OutEdgesSlice(s)
@@ -224,14 +268,17 @@ func edgeMapSparse(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *Ve
 				return true
 			})
 		})
-		return NewEmpty(n)
+		if err != nil {
+			return nil, err
+		}
+		return NewEmpty(n), nil
 	}
 
 	offsets, total := parallel.ScanFunc(len(ids), func(i int) int64 {
 		return int64(g.OutDegree(ids[i]))
 	})
 	slots := make([]uint32, total)
-	parallel.For(len(ids), func(i int) {
+	err := parallel.ForCtx(opts.Context, len(ids), func(i int) {
 		s := ids[i]
 		k := offsets[i]
 		if csr != nil {
@@ -260,6 +307,11 @@ func edgeMapSparse(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *Ve
 			return true
 		})
 	})
+	if err != nil {
+		// slots is only partially written; unvisited entries are zero (a
+		// real vertex ID), so no frontier can be derived from it.
+		return nil, err
+	}
 	outIDs := parallel.Filter(slots, func(d uint32) bool { return d != None })
 	if opts.RemoveDuplicates && len(outIDs) > 1 {
 		if opts.Dedup == DedupHash {
@@ -268,7 +320,7 @@ func edgeMapSparse(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *Ve
 			outIDs = removeDuplicates(n, outIDs)
 		}
 	}
-	return NewSparse(n, outIDs)
+	return NewSparse(n, outIDs), nil
 }
 
 // DedupStrategy selects how RemoveDuplicates deduplicates the sparse
@@ -327,7 +379,7 @@ func removeDuplicates(n int, ids []uint32) []uint32 {
 // holds, pull over its in-edges looking for frontier sources, stopping
 // early once Cond(d) becomes false. Update need not be atomic because d is
 // processed by exactly one goroutine.
-func edgeMapDense(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *VertexSubset {
+func edgeMapDense(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
 	n := g.NumVertices()
 	ud := u.ToDense()
 	update := f.Update
@@ -341,7 +393,7 @@ func edgeMapDense(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *Ver
 	if !opts.NoOutput {
 		out = bitset.New(n)
 	}
-	parallel.For(n, func(di int) {
+	err := parallel.ForCtx(opts.Context, n, func(di int) {
 		d := uint32(di)
 		if cond != nil && !cond(d) {
 			return
@@ -377,17 +429,20 @@ func edgeMapDense(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *Ver
 			return true
 		})
 	})
-	if out == nil {
-		return NewEmpty(n)
+	if err != nil {
+		return nil, err
 	}
-	return NewDense(n, out)
+	if out == nil {
+		return NewEmpty(n), nil
+	}
+	return NewDense(n, out), nil
 }
 
 // edgeMapDenseForward is Ligra's write-based dense variant: loop over all
 // vertices, and for frontier members push over out-edges with atomic
 // updates. It avoids the transpose (useful for graphs stored only forward)
 // at the cost of atomics and no early exit.
-func edgeMapDenseForward(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *VertexSubset {
+func edgeMapDenseForward(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
 	n := g.NumVertices()
 	ud := u.ToDense()
 	update := f.UpdateAtomic
@@ -401,7 +456,7 @@ func edgeMapDenseForward(g graph.View, u *VertexSubset, f EdgeFuncs, opts Option
 	if !opts.NoOutput {
 		out = bitset.New(n)
 	}
-	parallel.For(n, func(si int) {
+	err := parallel.ForCtx(opts.Context, n, func(si int) {
 		if !ud.Get(si) {
 			return
 		}
@@ -426,8 +481,11 @@ func edgeMapDenseForward(g graph.View, u *VertexSubset, f EdgeFuncs, opts Option
 			return true
 		})
 	})
-	if out == nil {
-		return NewEmpty(n)
+	if err != nil {
+		return nil, err
 	}
-	return NewDense(n, out)
+	if out == nil {
+		return NewEmpty(n), nil
+	}
+	return NewDense(n, out), nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"ligra/internal/bitset"
 	"ligra/internal/parallel"
 )
@@ -9,6 +11,15 @@ import (
 // without output).
 func VertexMap(u *VertexSubset, fn func(v uint32)) {
 	u.ForEach(fn)
+}
+
+// VertexMapCtx is VertexMap with cooperative cancellation and panic
+// containment: ctx (nil = background) is checked at chunk granularity and
+// its error returned; a panic in fn is returned as a
+// *parallel.PanicError. Vertices already mapped when the call aborts keep
+// their effects.
+func VertexMapCtx(ctx context.Context, u *VertexSubset, fn func(v uint32)) error {
+	return u.ForEachCtx(ctx, fn)
 }
 
 // VertexFilter applies pred to every vertex of u and returns the subset of

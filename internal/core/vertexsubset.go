@@ -8,6 +8,8 @@
 package core
 
 import (
+	"context"
+
 	"ligra/internal/bitset"
 	"ligra/internal/parallel"
 )
@@ -151,6 +153,21 @@ func (vs *VertexSubset) ForEach(fn func(v uint32)) {
 		return
 	}
 	parallel.For(vs.n, func(i int) {
+		if vs.dense.Get(i) {
+			fn(uint32(i))
+		}
+	})
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: ctx (nil =
+// background) is checked at chunk granularity, and a panic in fn is
+// returned as a *parallel.PanicError instead of propagating.
+func (vs *VertexSubset) ForEachCtx(ctx context.Context, fn func(v uint32)) error {
+	if vs.sparse != nil {
+		ids := vs.sparse
+		return parallel.ForCtx(ctx, len(ids), func(i int) { fn(ids[i]) })
+	}
+	return parallel.ForCtx(ctx, vs.n, func(i int) {
 		if vs.dense.Get(i) {
 			fn(uint32(i))
 		}

@@ -1,0 +1,72 @@
+// Package faultinject provides deterministic, test-only fault hooks for
+// the Ligra runtime. The parallel runtime calls OnChunk once per
+// dispatched loop chunk, and the core operators call OnRound once per
+// EdgeMap invocation; when disarmed (the default) both are a single
+// atomic pointer load and do nothing.
+//
+// Tests arm the hooks to exercise containment paths that are otherwise
+// timing-dependent:
+//
+//   - PanicOnChunk(n, v) panics with v on the n-th dispatched chunk,
+//     proving worker panics surface as *parallel.PanicError.
+//   - CancelOnRound(parent, n) returns a context cancelled on the n-th
+//     EdgeMap round, proving mid-algorithm cancellation yields a usable
+//     partial result.
+//
+// The hooks are process-global; tests using them must not run in
+// parallel with each other and must disarm (defer the returned func).
+package faultinject
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+type hook struct {
+	remaining atomic.Int64
+	fire      func()
+}
+
+var (
+	chunkHook atomic.Pointer[hook]
+	roundHook atomic.Pointer[hook]
+)
+
+// OnChunk is called by internal/parallel once per dispatched chunk.
+func OnChunk() { trip(&chunkHook) }
+
+// OnRound is called by internal/core once per EdgeMap invocation.
+func OnRound() { trip(&roundHook) }
+
+func trip(p *atomic.Pointer[hook]) {
+	h := p.Load()
+	if h == nil {
+		return
+	}
+	if h.remaining.Add(-1) == 0 {
+		h.fire()
+	}
+}
+
+// PanicOnChunk arms OnChunk to panic with value on its n-th call
+// (1-based). It returns a disarm function that must be deferred.
+func PanicOnChunk(n int, value any) (disarm func()) {
+	h := &hook{fire: func() { panic(value) }}
+	h.remaining.Store(int64(n))
+	chunkHook.Store(h)
+	return func() { chunkHook.Store(nil) }
+}
+
+// CancelOnRound returns a child context of parent that is cancelled when
+// OnRound has been called n times (1-based), together with a disarm
+// function that must be deferred (it also releases the context).
+func CancelOnRound(parent context.Context, n int) (ctx context.Context, disarm func()) {
+	ctx, cancel := context.WithCancel(parent)
+	h := &hook{fire: cancel}
+	h.remaining.Store(int64(n))
+	roundHook.Store(h)
+	return ctx, func() {
+		roundHook.Store(nil)
+		cancel()
+	}
+}

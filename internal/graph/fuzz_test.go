@@ -55,6 +55,19 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(valid[:len(valid)/2])
 	f.Add([]byte("LIGRAGO1 garbage follows"))
 	f.Add([]byte{})
+	// Truncations at every section boundary of the valid file: inside the
+	// magic, the fixed header, the offsets, the edges, and the weights.
+	for _, cut := range []int{4, 8, 12, 20, 27, 28, 28 + 8*4, 28 + 8*4 + 4, len(valid) - 1} {
+		if cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	// Corrupt each header field of the valid file in place.
+	for _, off := range []int{0, 8, 12, 20} {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0xFF
+		f.Add(mut)
+	}
 	f.Fuzz(func(t *testing.T, in []byte) {
 		g, err := ReadBinary(bytes.NewReader(in))
 		if err != nil {
@@ -62,6 +75,18 @@ func FuzzReadBinary(f *testing.F) {
 		}
 		if err := Validate(g); err != nil {
 			t.Fatalf("accepted binary graph fails validation: %v", err)
+		}
+		// Round trip must succeed and preserve sizes.
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("cannot re-serialize accepted graph: %v", err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed sizes")
 		}
 	})
 }

@@ -2,6 +2,8 @@ package graph
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -170,5 +172,69 @@ func TestSymmetricFlagPreservedInBinary(t *testing.T) {
 	}
 	if !g2.Symmetric() {
 		t.Error("symmetric flag lost in binary round trip")
+	}
+}
+
+func TestBinaryTruncationErrors(t *testing.T) {
+	g := sampleGraph(t, true)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	// Header layout: magic [0,8), flags [8,12), n [12,20), m [20,28).
+	cases := []struct {
+		name    string
+		cut     int
+		wantSub string
+	}{
+		{"mid magic", 4, "magic"},
+		{"mid flags", 10, "flags"},
+		{"mid vertex count", 16, "vertex count"},
+		{"mid edge count", 24, "edge count"},
+		{"mid offsets", 28 + 8*3, "offsets"},
+		{"mid edges", 28 + 8*6 + 4*2, "edges"},
+		{"mid weights", len(valid) - 2, "weights"},
+	}
+	for _, tc := range cases {
+		_, err := ReadBinary(bytes.NewReader(valid[:tc.cut]))
+		if err == nil {
+			t.Errorf("%s: truncated input accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not name the %s section", tc.name, err, tc.wantSub)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("%s: error %q does not wrap io.ErrUnexpectedEOF", tc.name, err)
+		}
+	}
+}
+
+func TestBinaryRejectsUnknownFlags(t *testing.T) {
+	g := sampleGraph(t, false)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	mut := buf.Bytes()
+	mut[8] |= 0x80 // set an undefined flag bit
+	_, err := ReadBinary(bytes.NewReader(mut))
+	if err == nil {
+		t.Fatal("unknown flag bits accepted")
+	}
+	if !strings.Contains(err.Error(), "flag") {
+		t.Errorf("error %q does not mention flags", err)
+	}
+}
+
+func TestAdjacencyRejectsOverflowingWeight(t *testing.T) {
+	in := "WeightedAdjacencyGraph\n2\n1\n0\n1\n1\n4294967296\n"
+	_, err := ReadAdjacency(strings.NewReader(in), false)
+	if err == nil {
+		t.Fatal("weight overflowing int32 accepted")
+	}
+	if !strings.Contains(err.Error(), "overflow") {
+		t.Errorf("error %q does not mention overflow", err)
 	}
 }

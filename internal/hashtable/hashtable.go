@@ -14,6 +14,7 @@
 package hashtable
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"ligra/internal/parallel"
@@ -24,15 +25,22 @@ import (
 // sentinel, so this costs nothing in practice.
 const empty = ^uint32(0)
 
-// Set is a fixed-capacity phase-concurrent hash set of uint32 keys.
+// Set is a phase-concurrent hash set of uint32 keys. It starts at the
+// capacity given to NewSet and grows (doubling and rehashing) when an
+// insert exhausts its probe budget, so Insert never fails on an
+// undersized initial estimate.
 type Set struct {
+	// mu is held shared by inserters and exclusively by growth: a grow
+	// must observe no in-flight probe sequences, since it swaps out the
+	// slot array those sequences walk.
+	mu    sync.RWMutex
 	slots []uint32
 	mask  uint32
 }
 
-// NewSet returns a set that can hold up to capacity keys with a load
-// factor of at most 1/2 (the table size is the next power of two of
-// 2*capacity).
+// NewSet returns a set sized for capacity keys with a load factor of at
+// most 1/2 (the table size is the next power of two of 2*capacity); the
+// table grows automatically if more keys arrive.
 func NewSet(capacity int) *Set {
 	if capacity < 1 {
 		capacity = 1
@@ -58,30 +66,68 @@ func hash32(x uint32) uint32 {
 	return x
 }
 
-// priority orders keys along a probe chain: primarily by hash position,
-// then by key value. Chains hold keys in decreasing priority starting at
-// their home slot, which is what makes the layout history-independent.
-func (s *Set) priority(k uint32) uint64 {
-	return uint64(hash32(k)&s.mask)<<32 | uint64(k)
+// priorityAt orders keys along a probe chain of a table with the given
+// mask: primarily by hash position, then by key value. Chains hold keys
+// in decreasing priority starting at their home slot, which is what makes
+// the layout history-independent.
+func priorityAt(mask, k uint32) uint64 {
+	return uint64(hash32(k)&mask)<<32 | uint64(k)
 }
+
+func (s *Set) priority(k uint32) uint64 { return priorityAt(s.mask, k) }
 
 // Insert adds k to the set, returning true if k was absent. Safe to call
 // concurrently with other Inserts (but not with reads). k must not be the
-// reserved sentinel ^uint32(0).
+// reserved sentinel ^uint32(0). If the table is too loaded to place the
+// key within its probe budget it grows (doubling and rehashing) and
+// retries instead of failing.
 func (s *Set) Insert(k uint32) bool {
 	if k == empty {
 		panic("hashtable: cannot insert the reserved sentinel key")
 	}
+	// The displacement chain may be cut short by a full table while
+	// carrying a key that is no longer k: by then k itself has been
+	// placed (it displaced a lower-priority key), so the answer is known
+	// and the retries only need to re-home the carried key.
+	result, known := false, false
+	pending := k
+	for {
+		s.mu.RLock()
+		size := len(s.slots)
+		res, carry, full := s.tryInsert(pending)
+		s.mu.RUnlock()
+		if !full {
+			if !known {
+				result = res
+			}
+			return result
+		}
+		if carry != pending && !known {
+			// pending (== k) displaced its way into the table before the
+			// chain ran out of room, so k was absent.
+			result, known = true, true
+		}
+		pending = carry
+		s.grow(size)
+	}
+}
+
+// tryInsert runs one ordered-linear-probing pass for k under a read lock.
+// It returns (inserted, carried key, false) on completion, or
+// (_, key still needing placement, true) when the probe budget is
+// exhausted — the carried key has been *removed* from the table by a
+// displacement and must be re-inserted after growth.
+func (s *Set) tryInsert(k uint32) (bool, uint32, bool) {
 	i := hash32(k) & s.mask
 	pk := s.priority(k)
 	for probes := 0; probes <= len(s.slots); probes++ {
 		cur := atomic.LoadUint32(&s.slots[i])
 		switch {
 		case cur == k:
-			return false
+			return false, k, false
 		case cur == empty:
 			if atomic.CompareAndSwapUint32(&s.slots[i], empty, k) {
-				return true
+				return true, k, false
 			}
 			// Lost the race; re-examine the same slot.
 			probes--
@@ -98,7 +144,54 @@ func (s *Set) Insert(k uint32) bool {
 		}
 		i = (i + 1) & s.mask
 	}
-	panic("hashtable: table full (capacity exceeded)")
+	return false, k, true
+}
+
+// grow doubles the table observed at oldSize and rehashes every key. It
+// no-ops if another goroutine already grew past oldSize while this one
+// waited for the write lock, so concurrent inserters hitting a full table
+// trigger exactly one doubling between them.
+func (s *Set) grow(oldSize int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.slots) != oldSize {
+		return
+	}
+	newSize := 2 * oldSize
+	newSlots := make([]uint32, newSize)
+	for i := range newSlots {
+		newSlots[i] = empty
+	}
+	newMask := uint32(newSize - 1)
+	for _, k := range s.slots {
+		if k != empty {
+			insertSeq(newSlots, newMask, k)
+		}
+	}
+	s.slots, s.mask = newSlots, newMask
+}
+
+// insertSeq is the sequential (single-writer) ordered-probing insert used
+// during rehash; the target table is private so no atomics are needed and
+// it can never be full (rehash at most halves the load factor).
+func insertSeq(slots []uint32, mask, k uint32) {
+	i := hash32(k) & mask
+	pk := priorityAt(mask, k)
+	for {
+		cur := slots[i]
+		if cur == k {
+			return
+		}
+		if cur == empty {
+			slots[i] = k
+			return
+		}
+		if priorityAt(mask, cur) < pk {
+			slots[i], k = k, cur
+			pk = priorityAt(mask, k)
+		}
+		i = (i + 1) & mask
+	}
 }
 
 // Contains reports whether k is in the set. Must not run concurrently

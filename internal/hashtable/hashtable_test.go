@@ -203,3 +203,69 @@ func TestCapacitySizing(t *testing.T) {
 		t.Errorf("table size %d not a power of two >= 200", s100.TableSize())
 	}
 }
+
+func TestGrowthPastInitialCapacity(t *testing.T) {
+	// Insert two orders of magnitude past the initial capacity: the table
+	// must grow instead of panicking, keep every key, and stay
+	// history-independent across the rehashes.
+	s := NewSet(4)
+	const n = 1000
+	for k := uint32(0); k < n; k++ {
+		if !s.Insert(k) {
+			t.Fatalf("first insert of %d reported duplicate", k)
+		}
+	}
+	if got := s.Len(); got != n {
+		t.Fatalf("Len = %d after growth, want %d", got, n)
+	}
+	for k := uint32(0); k < n; k++ {
+		if !s.Contains(k) {
+			t.Fatalf("Contains(%d) = false after growth", k)
+		}
+		if s.Insert(k) {
+			t.Fatalf("re-insert of %d reported new after growth", k)
+		}
+	}
+	if s.TableSize() < n {
+		t.Fatalf("TableSize = %d, cannot hold %d keys", s.TableSize(), n)
+	}
+}
+
+func TestGrowthConcurrent(t *testing.T) {
+	// Hammer a deliberately undersized table from several goroutines; the
+	// grow path must lose no keys and report each key new exactly once.
+	s := NewSet(2)
+	const (
+		workers = 8
+		perW    = 500
+	)
+	var wg sync.WaitGroup
+	newCount := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perW; i++ {
+				// Overlapping key ranges across workers force duplicate races.
+				k := uint32(r.Intn(perW * 2))
+				if s.Insert(k) {
+					newCount[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range newCount {
+		total += c
+	}
+	if total != s.Len() {
+		t.Fatalf("sum of 'new' inserts = %d, but Len = %d", total, s.Len())
+	}
+	for _, k := range s.Elements() {
+		if !s.Contains(k) {
+			t.Fatalf("element %d not found by Contains", k)
+		}
+	}
+}

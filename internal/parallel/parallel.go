@@ -3,6 +3,7 @@ package parallel
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -52,21 +53,41 @@ func defaultGrain(n, procs int) int {
 	return g
 }
 
-// panicBox records the first panic raised by any worker.
+// PanicError is the typed error produced when a worker goroutine panics
+// inside a parallel primitive. The context-aware primitives (ForCtx,
+// ReduceCtx, ...) return it; the plain primitives re-panic with it as the
+// panic value, so recover sites can errors.As it either way.
+type PanicError struct {
+	// Value is the original value passed to panic.
+	Value any
+	// Stack is the panicking worker's stack trace (debug.Stack).
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: panic in worker: %v", e.Value)
+}
+
+// panicBox records the first panic raised by any worker and flags the
+// remaining workers to stop claiming chunks.
 type panicBox struct {
-	once sync.Once
-	val  any
+	once    sync.Once
+	err     *PanicError
+	stopped atomic.Bool
 }
 
 func (b *panicBox) capture() {
 	if r := recover(); r != nil {
-		b.once.Do(func() { b.val = r })
+		b.once.Do(func() {
+			b.err = &PanicError{Value: r, Stack: debug.Stack()}
+		})
+		b.stopped.Store(true)
 	}
 }
 
 func (b *panicBox) repanic() {
-	if b.val != nil {
-		panic(fmt.Sprintf("parallel: panic in worker: %v", b.val))
+	if b.err != nil {
+		panic(b.err)
 	}
 }
 
@@ -96,49 +117,12 @@ func ForRange(n int, body func(lo, hi int)) {
 }
 
 // ForRangeGrain is ForRange with an explicit grain size (grain <= 0 selects
-// an automatic value).
+// an automatic value). A worker panic propagates as a panic whose value is a
+// *PanicError; ForRangeGrainCtx is the variant that returns it instead.
 func ForRangeGrain(n, grain int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
+	if err := ForRangeGrainCtx(nil, n, grain, body); err != nil {
+		panic(err)
 	}
-	procs := Procs()
-	if grain <= 0 {
-		grain = defaultGrain(n, procs)
-	}
-	if procs == 1 || n <= grain {
-		body(0, n)
-		return
-	}
-	chunks := (n + grain - 1) / grain
-	workers := procs
-	if workers > chunks {
-		workers = chunks
-	}
-
-	var next atomic.Int64
-	var box panicBox
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			defer box.capture()
-			for {
-				c := int(next.Add(1) - 1)
-				if c >= chunks {
-					return
-				}
-				lo := c * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
-	box.repanic()
 }
 
 // ForEachWorker runs body(worker, workers) once on each of the configured
