@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -43,6 +44,7 @@ func run(args []string, stdout io.Writer) error {
 		rounds     = fs.Int("rounds", 3, "timed repetitions per measurement (median reported)")
 		maxProcs   = fs.Int("maxprocs", 0, "largest worker count in the scalability sweep (0 = 2*GOMAXPROCS)")
 		budget     = fs.Duration("budget", 0, "wall-clock budget for the whole run (0 = none); experiments stop between measurements when it expires and report partial tables")
+		jsonPath   = fs.String("json", "", "also write machine-readable results (per-experiment times, graph sizes, GOMAXPROCS) to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +65,7 @@ func run(args []string, stdout io.Writer) error {
 		ids = strings.Split(*experiment, ",")
 	}
 	exps := bench.Experiments()
+	var timings []bench.JSONExperiment
 	for i, id := range ids {
 		runExp, ok := exps[id]
 		if !ok {
@@ -81,7 +84,27 @@ func run(args []string, stdout io.Writer) error {
 		if err := runExp(cfg); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
-		fmt.Fprintf(stdout, "[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		dur := time.Since(start)
+		timings = append(timings, bench.JSONExperiment{ID: id, Seconds: dur.Seconds()})
+		fmt.Fprintf(stdout, "[%s completed in %v]\n", id, dur.Round(time.Millisecond))
+	}
+	if *jsonPath != "" {
+		graphs, err := bench.SuiteInfo(*scale)
+		if err != nil {
+			return fmt.Errorf("json report: %w", err)
+		}
+		report := bench.JSONReport{
+			Timestamp:   time.Now().Format(time.RFC3339),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			Scale:       *scale,
+			Rounds:      *rounds,
+			Graphs:      graphs,
+			Experiments: timings,
+		}
+		if err := report.WriteFile(*jsonPath); err != nil {
+			return fmt.Errorf("json report: %w", err)
+		}
+		fmt.Fprintf(stdout, "\n[json results written to %s]\n", *jsonPath)
 	}
 	return nil
 }

@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"ligra/internal/bench"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
@@ -33,6 +38,40 @@ func TestRunCommaSeparatedList(t *testing.T) {
 	}
 	if strings.Index(out, "frontier") > strings.Index(out, "threshold") {
 		t.Error("experiments out of order")
+	}
+}
+
+func TestRunWritesJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	err := run([]string{"-experiment", "table1", "-scale", "9", "-rounds", "1", "-json", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report bench.JSONReport
+	if err := json.Unmarshal(b, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.GoMaxProcs < 1 || report.Scale != 9 || report.Rounds != 1 {
+		t.Errorf("bad config echo: %+v", report)
+	}
+	if len(report.Experiments) != 1 || report.Experiments[0].ID != "table1" || report.Experiments[0].Seconds <= 0 {
+		t.Errorf("bad experiment timings: %+v", report.Experiments)
+	}
+	if len(report.Graphs) == 0 {
+		t.Fatal("no graph sizes recorded")
+	}
+	for _, g := range report.Graphs {
+		if g.Vertices <= 0 || g.Edges <= 0 || g.MemoryBytes <= 0 {
+			t.Errorf("graph %s has empty sizes: %+v", g.Name, g)
+		}
+	}
+	if !strings.Contains(buf.String(), "json results written") {
+		t.Error("missing json banner")
 	}
 }
 

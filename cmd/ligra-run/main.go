@@ -9,6 +9,10 @@
 //	ligra-run -algo pagerank -gen rmat -scale 16
 //	ligra-run -algo bellman-ford -gen grid3d -scale 15 -weights 31
 //	ligra-run -algo components -graph web.bin -mode sparse -rounds 5
+//
+// Exit status: 0 on success, 1 on load/usage error, 2 when -timeout
+// expired and a partial result was reported; the final output line states
+// which.
 package main
 
 import (
@@ -18,15 +22,30 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"ligra"
+	"ligra/internal/algo"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "ligra-run:", err)
-		os.Exit(1)
+	os.Exit(exitStatus(run(os.Args[1:], os.Stdout), os.Stderr))
+}
+
+// exitStatus maps run's error to the documented exit codes, reporting the
+// failure on w: 0 success, 2 timeout (deadline or cancellation after a
+// partial result), 1 anything else.
+func exitStatus(err error, w io.Writer) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		fmt.Fprintln(w, "ligra-run: timeout:", err)
+		return 2
+	default:
+		fmt.Fprintln(w, "ligra-run:", err)
+		return 1
 	}
 }
 
@@ -34,7 +53,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ligra-run", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	var (
-		algoName  = fs.String("algo", "bfs", "algorithm: bfs | bc | bc-approx | radii | components | pagerank | pagerank-delta | bellman-ford | delta-stepping | kcore | mis | triangles | clustering | scc | coloring | matching | cc-ldd | eccentricity | local-cluster | densest")
+		algoName  = fs.String("algo", "bfs", "algorithm: "+strings.Join(algo.RunnerNames(), " | "))
 		graphPath = fs.String("graph", "", "input graph file (AdjacencyGraph text or binary)")
 		symmetric = fs.Bool("s", false, "treat a text-format input file as symmetric (Ligra's -s)")
 		genFamily = fs.String("gen", "", "generate instead of load: rmat | grid3d | randlocal | twitter-sim")
@@ -48,7 +67,7 @@ func run(args []string, stdout io.Writer) error {
 		trace     = fs.Bool("trace", false, "print the per-round edgeMap trace")
 		compressG = fs.Bool("compress", false, "run on the Ligra+ byte-compressed representation")
 		procs     = fs.Int("procs", 0, "worker goroutines (0 = GOMAXPROCS)")
-		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the computation (0 = none); on expiry the algorithm stops cooperatively and its partial result is reported")
+		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the computation (0 = none); on expiry the algorithm stops cooperatively, its partial result is reported, and the exit status is 2")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +75,11 @@ func run(args []string, stdout io.Writer) error {
 	if *procs > 0 {
 		prev := ligra.SetParallelism(*procs)
 		defer ligra.SetParallelism(prev)
+	}
+
+	runner, ok := algo.FindRunner(*algoName)
+	if !ok {
+		return algo.UnknownAlgoError(*algoName)
 	}
 
 	g, err := loadOrGenerate(*graphPath, *symmetric, *genFamily, *scale, *seed)
@@ -116,14 +140,15 @@ func run(args []string, stdout io.Writer) error {
 		defer cancel()
 		ctx = c
 	}
+	params := algo.RunParams{Source: src, EdgeMap: opts}
 	var best time.Duration
-	var summary string
-	interrupted := false
+	var res algo.RunResult
+	var interruptErr error
 	done := 0
 	for r := 0; r < reps; r++ {
 		start := time.Now()
 		var err error
-		summary, err = runOnce(ctx, *algoName, view, src, opts)
+		res, err = runner.Run(ctx, view, params)
 		if d := time.Since(start); r == 0 || d < best {
 			best = d
 		}
@@ -133,16 +158,16 @@ func run(args []string, stdout io.Writer) error {
 			if errors.As(err, &re) &&
 				(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
 				fmt.Fprintf(stdout, "interrupted: %v\n", err)
-				interrupted = true
+				interruptErr = err
 				break
 			}
 			return err
 		}
 	}
-	if interrupted {
-		fmt.Fprintf(stdout, "partial result: %s\n", summary)
+	if interruptErr != nil {
+		fmt.Fprintf(stdout, "partial result: %s\n", res.Summary)
 	} else {
-		fmt.Fprintln(stdout, summary)
+		fmt.Fprintln(stdout, res.Summary)
 	}
 	fmt.Fprintf(stdout, "time: %v (best of %d)\n", best, done)
 	if tr != nil {
@@ -156,6 +181,11 @@ func run(args []string, stdout io.Writer) error {
 				e.Round, e.FrontierSize, e.OutDegrees, m, e.OutputSize)
 		}
 	}
+	if interruptErr != nil {
+		fmt.Fprintln(stdout, "status: timeout (exit 2)")
+		return interruptErr
+	}
+	fmt.Fprintln(stdout, "status: ok")
 	return nil
 }
 
@@ -189,135 +219,4 @@ func maxDegreeVertex(g ligra.View) uint32 {
 		}
 	}
 	return best
-}
-
-// runOnce executes one algorithm and summarizes its result. A nil ctx
-// means no budget; when ctx expires mid-run, supported algorithms return
-// both the summary of their partial result and the interruption error.
-func runOnce(ctx context.Context, name string, g ligra.View, src uint32, opts ligra.Options) (string, error) {
-	switch name {
-	case "bfs":
-		res, err := ligra.BFSCtx(ctx, g, src, opts)
-		return fmt.Sprintf("BFS from %d: visited %d vertices in %d rounds", src, res.Visited, res.Rounds), err
-	case "bc":
-		res, err := ligra.BCCtx(ctx, g, src, opts)
-		maxV, maxS := 0, 0.0
-		for v, s := range res.Scores {
-			if s > maxS {
-				maxV, maxS = v, s
-			}
-		}
-		return fmt.Sprintf("BC from %d: %d forward rounds; max dependency %.2f at vertex %d",
-			src, res.Rounds, maxS, maxV), err
-	case "bc-approx":
-		res, err := ligra.BCApproxCtx(ctx, g, 16, 1, opts)
-		maxV, maxS := 0, 0.0
-		for v, s := range res.Scores {
-			if s > maxS {
-				maxV, maxS = v, s
-			}
-		}
-		return fmt.Sprintf("BC-approx (%d sources): max centrality %.1f at vertex %d",
-			len(res.Sources), maxS, maxV), err
-	case "radii":
-		o := ligra.DefaultRadiiOptions()
-		o.EdgeMap = opts
-		res, err := ligra.RadiiCtx(ctx, g, o)
-		maxR := int32(-1)
-		for _, r := range res.Radii {
-			if r > maxR {
-				maxR = r
-			}
-		}
-		return fmt.Sprintf("Radii (K=%d): %d rounds; estimated diameter lower bound %d",
-			len(res.Sources), res.Rounds, maxR), err
-	case "components":
-		res, err := ligra.ConnectedComponentsCtx(ctx, g, opts)
-		return fmt.Sprintf("Components: %d components in %d rounds", res.Components, res.Rounds), err
-	case "pagerank":
-		o := ligra.DefaultPageRankOptions()
-		o.EdgeMap = opts
-		res, err := ligra.PageRankCtx(ctx, g, o)
-		return fmt.Sprintf("PageRank: %d iterations, final L1 change %.3g", res.Iterations, res.Err), err
-	case "pagerank-delta":
-		o := ligra.DefaultPageRankOptions()
-		o.EdgeMap = opts
-		res, err := ligra.PageRankDeltaCtx(ctx, g, o, 1e-3)
-		return fmt.Sprintf("PageRank-Delta: %d iterations, final L1 change %.3g", res.Iterations, res.Err), err
-	case "bellman-ford":
-		res, err := ligra.BellmanFordCtx(ctx, g, src, opts)
-		if res.NegativeCycle {
-			return "Bellman-Ford: negative cycle detected", err
-		}
-		reached := 0
-		for _, d := range res.Dist {
-			if d < ligra.InfDist {
-				reached++
-			}
-		}
-		return fmt.Sprintf("Bellman-Ford from %d: reached %d vertices in %d rounds", src, reached, res.Rounds), err
-	case "delta-stepping":
-		res, err := ligra.DeltaSteppingCtx(ctx, g, src, 0, opts)
-		if res == nil {
-			return "", err
-		}
-		reached := 0
-		for _, d := range res.Dist {
-			if d < ligra.InfDist {
-				reached++
-			}
-		}
-		return fmt.Sprintf("Delta-stepping from %d: reached %d vertices over %d buckets (%d phases)",
-			src, reached, res.Buckets, res.Phases), err
-	case "kcore":
-		res, err := ligra.KCoreCtx(ctx, g, opts)
-		return fmt.Sprintf("KCore: degeneracy %d in %d peeling rounds", res.MaxCore, res.Rounds), err
-	case "mis":
-		res, err := ligra.MISCtx(ctx, g, 123, opts)
-		size := 0
-		for _, in := range res.InSet {
-			if in {
-				size++
-			}
-		}
-		return fmt.Sprintf("MIS: %d vertices in %d rounds", size, res.Rounds), err
-	case "scc":
-		res, err := ligra.SCCCtx(ctx, g, opts)
-		return fmt.Sprintf("SCC: %d strongly connected components", res.Components), err
-	case "coloring":
-		res := ligra.Coloring(g, 7, opts)
-		return fmt.Sprintf("Coloring: %d colors in %d rounds", res.NumColors, res.Rounds), nil
-	case "matching":
-		res := ligra.MaximalMatching(g, 7)
-		return fmt.Sprintf("Matching: %d edges in %d rounds", res.Size, res.Rounds), nil
-	case "cc-ldd":
-		res := ligra.ConnectedComponentsLDD(g, 0.2, 7, opts)
-		return fmt.Sprintf("Components (LDD contraction): %d components", res.Components), nil
-	case "eccentricity":
-		res, err := ligra.TwoPassEccentricityCtx(ctx, g, 64, 7, opts)
-		return fmt.Sprintf("Two-pass eccentricity: diameter >= %d (%d rounds)",
-			res.DiameterLowerBound, res.Rounds), err
-	case "densest":
-		res := ligra.DensestSubgraph(g, opts)
-		return fmt.Sprintf("Densest subgraph: %d vertices, density %.3f (%d peels)",
-			len(res.Vertices), res.Density, res.Peels), nil
-	case "local-cluster":
-		res, err := ligra.LocalCluster(g, src, 0.15, 1e-6)
-		if err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("Local cluster around %d: %d vertices, conductance %.4f",
-			src, len(res.Cluster), res.Conductance), nil
-	case "triangles":
-		return fmt.Sprintf("Triangles: %d", ligra.TriangleCount(g)), nil
-	case "clustering":
-		lcc := ligra.LocalClusteringCoefficients(g)
-		var sum float64
-		for _, c := range lcc {
-			sum += c
-		}
-		return fmt.Sprintf("Clustering: mean local coefficient %.4f", sum/float64(len(lcc))), nil
-	default:
-		return "", fmt.Errorf("unknown algorithm %q", name)
-	}
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -103,6 +105,49 @@ func TestRunRequiresInput(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-algo", "bfs"}, &buf); err == nil {
 		t.Error("no input source accepted")
+	}
+}
+
+func TestRunStatusLine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-algo", "bfs", "-gen", "rmat", "-scale", "8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(buf.String())
+	if !strings.HasSuffix(out, "status: ok") {
+		t.Errorf("final line should report status ok, got %q", out)
+	}
+}
+
+// TestRunTimeoutExitCode proves scripts can tell a deadline hit (exit 2,
+// partial result reported) from a load/usage error (exit 1) and success
+// (exit 0).
+func TestRunTimeoutExitCode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-algo", "pagerank", "-gen", "rmat", "-scale", "12",
+		"-timeout", "1ns"}, &buf)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"interrupted:", "partial result:", "status: timeout (exit 2)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	var stderr bytes.Buffer
+	if code := exitStatus(err, &stderr); code != 2 {
+		t.Errorf("exitStatus(timeout) = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "timeout") {
+		t.Errorf("stderr should name the timeout: %q", stderr.String())
+	}
+	if code := exitStatus(nil, &stderr); code != 0 {
+		t.Errorf("exitStatus(nil) = %d, want 0", code)
+	}
+	if code := exitStatus(errors.New("no such file"), &stderr); code != 1 {
+		t.Errorf("exitStatus(load error) = %d, want 1", code)
 	}
 }
 

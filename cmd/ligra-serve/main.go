@@ -1,0 +1,175 @@
+// ligra-serve is the long-running graph analytics server: it keeps a
+// registry of named graphs resident in memory and serves algorithm
+// queries over HTTP/JSON, with per-request deadlines, bounded admission,
+// panic containment, and built-in observability.
+//
+// Usage:
+//
+//	ligra-serve -addr :8090 -max-concurrent 8
+//	ligra-serve -preload social=graphs/social.adj,symmetric
+//
+// Endpoints:
+//
+//	GET    /healthz                  liveness (503 while draining)
+//	GET    /metrics                  counters + per-graph memory (JSON)
+//	GET    /v1/graphs                list registered graphs
+//	POST   /v1/graphs/{name}         load {"path":...} or {"gen":"rmat",...}
+//	GET    /v1/graphs/{name}         one graph's stats
+//	DELETE /v1/graphs/{name}         evict
+//	POST   /v1/graphs/{name}/query   {"algo":"bfs","source":0,"timeout_ms":500}
+//
+// On SIGTERM/SIGINT the server drains: it stops accepting queries,
+// gives in-flight ones -drain-timeout to finish, then cancels the rest
+// cooperatively (their clients receive 504 partial results) before
+// exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ligra/internal/graph"
+	"ligra/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ligra-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// preloadSpec is one -preload flag value: "name=path[,symmetric]".
+type preloadSpec struct {
+	name, path string
+	symmetric  bool
+}
+
+func parsePreload(v string) (preloadSpec, error) {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok || name == "" || rest == "" {
+		return preloadSpec{}, fmt.Errorf("bad -preload %q (want name=path[,symmetric])", v)
+	}
+	spec := preloadSpec{name: name}
+	path, attr, hasAttr := strings.Cut(rest, ",")
+	spec.path = path
+	if hasAttr {
+		if attr != "symmetric" {
+			return preloadSpec{}, fmt.Errorf("bad -preload attribute %q (only \"symmetric\")", attr)
+		}
+		spec.symmetric = true
+	}
+	return spec, nil
+}
+
+// preloadList collects repeated -preload flags.
+type preloadList []preloadSpec
+
+func (p *preloadList) String() string { return fmt.Sprint(*p) }
+
+func (p *preloadList) Set(v string) error {
+	spec, err := parsePreload(v)
+	if err != nil {
+		return err
+	}
+	*p = append(*p, spec)
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ligra-serve", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var preloads preloadList
+	var (
+		addr           = fs.String("addr", ":8090", "listen address")
+		maxConcurrent  = fs.Int("max-concurrent", 0, "queries executing at once (0 = 2*GOMAXPROCS); excess queues then gets 429")
+		queueWait      = fs.Duration("queue-wait", 100*time.Millisecond, "how long an over-admission query waits for a slot before 429")
+		defaultTimeout = fs.Duration("default-timeout", 30*time.Second, "deadline for queries that set no timeout_ms (0 = unbounded)")
+		maxTimeout     = fs.Duration("max-timeout", 60*time.Second, "upper bound on client-requested timeout_ms")
+		drainTimeout   = fs.Duration("drain-timeout", 15*time.Second, "how long SIGTERM waits for in-flight queries before cancelling them")
+		logJSON        = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	)
+	fs.Var(&preloads, "preload", "load a graph at startup: name=path[,symmetric] (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	srv := server.New(server.Config{
+		MaxConcurrent:  *maxConcurrent,
+		QueueWait:      *queueWait,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		Logger:         logger,
+	})
+	for _, p := range preloads {
+		_, err := srv.Registry().Load(context.Background(), p.name,
+			fmt.Sprintf("file:%s symmetric=%t", p.path, p.symmetric),
+			func() (*graph.Graph, error) { return graph.LoadFile(p.path, p.symmetric) })
+		if err != nil {
+			return fmt.Errorf("preload: %w", err)
+		}
+		logger.Info("preloaded", "graph", p.name, "path", p.path)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	return serve(srv, ln, sigCh, *drainTimeout, logger)
+}
+
+// serve runs the HTTP server on ln until a signal arrives on sigCh, then
+// drains: stop accepting, wait up to drainTimeout for in-flight requests,
+// cancel whatever remains, and return once the server has shut down.
+func serve(srv *server.Server, ln net.Listener, sigCh <-chan os.Signal, drainTimeout time.Duration, logger *slog.Logger) error {
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	logger.Info("serving", "addr", ln.Addr().String())
+
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		logger.Info("shutdown signal", "signal", fmt.Sprint(sig))
+	}
+
+	// Drain: refuse new queries, let in-flight ones finish, then cancel
+	// the stragglers cooperatively and wait for their handlers to write
+	// their 504 partial-result responses.
+	srv.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(ctx)
+	if shutdownErr != nil {
+		logger.Warn("drain period expired with queries in flight; cancelling them", "err", shutdownErr)
+		srv.CancelInflight()
+		ctx2, cancel2 := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel2()
+		shutdownErr = httpSrv.Shutdown(ctx2)
+	}
+	<-errCh // Serve has returned http.ErrServerClosed
+	logger.Info("shutdown complete")
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+	return nil
+}

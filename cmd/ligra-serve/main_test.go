@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"ligra/internal/server"
+)
+
+func TestParsePreload(t *testing.T) {
+	cases := []struct {
+		in   string
+		want preloadSpec
+		ok   bool
+	}{
+		{"social=graphs/social.adj", preloadSpec{"social", "graphs/social.adj", false}, true},
+		{"web=web.bin,symmetric", preloadSpec{"web", "web.bin", true}, true},
+		{"noequals", preloadSpec{}, false},
+		{"=path", preloadSpec{}, false},
+		{"name=", preloadSpec{}, false},
+		{"g=p,bogus", preloadSpec{}, false},
+	}
+	for _, c := range cases {
+		got, err := parsePreload(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parsePreload(%q): err = %v, want ok=%t", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("parsePreload(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestServeDrainsOnSignal runs the real serve loop: load a graph, put a
+// query in flight, deliver SIGTERM, and check the in-flight query
+// completes with 200 before the process would exit.
+func TestServeDrainsOnSignal(t *testing.T) {
+	srv := server.New(server.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigCh := make(chan os.Signal, 1)
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- serve(srv, ln, sigCh, 10*time.Second, slog.New(slog.NewTextHandler(io.Discard, nil)))
+	}()
+	base := "http://" + ln.Addr().String()
+
+	post := func(path string, body map[string]any) (int, map[string]any) {
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+
+	if status, body := post("/v1/graphs/g", map[string]any{"gen": "rmat", "scale": 14}); status != http.StatusOK {
+		t.Fatalf("load: status %d, body %v", status, body)
+	}
+
+	queryDone := make(chan int, 1)
+	go func() {
+		status, _ := post("/v1/graphs/g/query", map[string]any{"algo": "pagerank"})
+		queryDone <- status
+	}()
+	// Wait until the query is executing.
+	deadline := time.Now().Add(5 * time.Second)
+	for inFlight := int64(0); inFlight < 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("query never became in-flight")
+		}
+		inFlight = srv.Metrics().InFlight.Value()
+		time.Sleep(time.Millisecond)
+	}
+
+	sigCh <- syscall.SIGTERM
+	select {
+	case status := <-queryDone:
+		if status != http.StatusOK {
+			t.Errorf("in-flight query during drain: status %d, want 200", status)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("in-flight query never completed")
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve never returned after SIGTERM")
+	}
+	// The listener is closed: new connections fail.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still accepting after shutdown")
+	}
+}
+
+// TestServeCancelsStragglers proves the second drain phase: a query that
+// outlives the drain window is cancelled cooperatively and its client
+// receives the 504 partial result rather than a dropped connection.
+func TestServeCancelsStragglers(t *testing.T) {
+	srv := server.New(server.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigCh := make(chan os.Signal, 1)
+	serveErr := make(chan error, 1)
+	// A drain window far shorter than the query forces the cancel path.
+	go func() {
+		serveErr <- serve(srv, ln, sigCh, 50*time.Millisecond, slog.New(slog.NewTextHandler(io.Discard, nil)))
+	}()
+	base := "http://" + ln.Addr().String()
+
+	post := func(path string, body map[string]any) (int, map[string]any) {
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+	if status, _ := post("/v1/graphs/g", map[string]any{"gen": "rmat", "scale": 15}); status != http.StatusOK {
+		t.Fatal("load failed")
+	}
+	type reply struct {
+		status int
+		body   map[string]any
+	}
+	queryDone := make(chan reply, 1)
+	go func() {
+		// 64 BC passes over half a million edges takes far longer than
+		// the 50ms drain window, so cancellation must cut this short.
+		status, body := post("/v1/graphs/g/query", map[string]any{"algo": "bc-approx", "k": 64})
+		queryDone <- reply{status, body}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().InFlight.Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("query never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sigCh <- syscall.SIGTERM
+	select {
+	case r := <-queryDone:
+		if r.status != http.StatusGatewayTimeout {
+			t.Fatalf("straggler query: status %d body %v, want 504", r.status, r.body)
+		}
+		if r.body["partial"] != true {
+			t.Errorf("straggler query: no partial result: %v", r.body)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("straggler query never completed")
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve returned %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+package algo
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"ligra/internal/gen"
+	"ligra/internal/graph"
+)
+
+// TestEveryRunnerRuns executes each table entry on a small graph and
+// checks it produces a summary and JSON-friendly details.
+func TestEveryRunnerRuns(t *testing.T) {
+	g, err := gen.RMAT(8, 8, gen.PBBSRMAT, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := g.AddWeights(graph.HashWeight(31))
+	for _, r := range Runners() {
+		view := graph.View(g)
+		if r.NeedsWeights {
+			view = wg
+		}
+		res, err := r.Run(context.Background(), view, RunParams{Source: 0})
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if res.Summary == "" {
+			t.Errorf("%s: empty summary", r.Name)
+		}
+		if len(res.Details) == 0 {
+			t.Errorf("%s: no details", r.Name)
+		}
+	}
+}
+
+func TestFindRunner(t *testing.T) {
+	r, ok := FindRunner("bfs")
+	if !ok || r.Name != "bfs" || !r.NeedsSource || !r.Cancellable {
+		t.Fatalf("bfs runner = %+v, ok=%t", r, ok)
+	}
+	if _, ok := FindRunner("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	if err := UnknownAlgoError("nope"); !strings.Contains(err.Error(), "bfs") {
+		t.Errorf("UnknownAlgoError should list the valid names: %v", err)
+	}
+	if len(RunnerNames()) != len(Runners()) {
+		t.Error("RunnerNames out of sync with Runners")
+	}
+}
+
+// TestCancellableRunnersReturnPartial proves every runner marked
+// Cancellable honors an already-expired context: it returns a deadline
+// error (wrapped in *RoundError) together with a usable partial summary.
+func TestCancellableRunnersReturnPartial(t *testing.T) {
+	g, err := gen.RMAT(10, 8, gen.PBBSRMAT, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := g.AddWeights(graph.HashWeight(31))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, r := range Runners() {
+		if !r.Cancellable {
+			continue
+		}
+		view := graph.View(g)
+		if r.NeedsWeights {
+			view = wg
+		}
+		_, err := r.Run(ctx, view, RunParams{Source: 0})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", r.Name, err)
+		}
+		var re *RoundError
+		if !errors.As(err, &re) {
+			t.Errorf("%s: error is not a *RoundError: %v", r.Name, err)
+		}
+	}
+}

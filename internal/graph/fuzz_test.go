@@ -16,6 +16,18 @@ func FuzzReadAdjacency(f *testing.F) {
 	f.Add("AdjacencyGraph\n-1\n0\n")
 	f.Add("garbage")
 	f.Add("AdjacencyGraph\n999999999999\n0\n")
+	// Truncations of a valid file at every section boundary: inside the
+	// banner, after n, after m, mid-offsets, mid-edges.
+	valid := "AdjacencyGraph\n3\n3\n0\n1\n2\n1\n2\n0\n"
+	for _, cut := range []int{3, 15, 17, 19, 21, 25, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	// Whitespace mangling: CRLF line endings, tabs and doubled blanks
+	// between tokens, leading/trailing blank lines, interior blank lines.
+	f.Add("AdjacencyGraph\r\n3\r\n3\r\n0\r\n1\r\n2\r\n1\r\n2\r\n0\r\n")
+	f.Add("AdjacencyGraph\t 3\t3  0 1\t\t2 1 2 0")
+	f.Add("\n\n AdjacencyGraph\n3\n\n3\n0\n1\n2\n1\n2\n0\n\n\n")
+	f.Add("WeightedAdjacencyGraph \t2\n1 0\v1\f1 5")
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := ReadAdjacency(strings.NewReader(in), false)
 		if err != nil {
@@ -35,6 +47,56 @@ func FuzzReadAdjacency(f *testing.F) {
 		}
 		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
 			t.Fatal("round trip changed sizes")
+		}
+	})
+}
+
+// FuzzReadEdgeList checks the SNAP-style edge-list parser never panics
+// and that any graph it accepts satisfies the CSR invariants and
+// round-trips through the writer.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n2 0\n")
+	f.Add("# comment\n% comment\n0 1 5\n1 0 5\n")
+	f.Add("0 0\n")          // self loop
+	f.Add("5 5\n")          // max ID sets n
+	f.Add("0 1 -3\n")       // negative weight
+	f.Add("")               // empty
+	f.Add("#only comment")  // no edges
+	f.Add("0\n")            // too few fields
+	f.Add("a b\n")          // non-numeric
+	f.Add("0 4294967296\n") // ID out of range
+	f.Add("-1 0\n")         // negative ID
+	// Truncations of a valid list mid-line and mid-token.
+	valid := "0 1 7\n1 2 9\n2 0 11\n"
+	for _, cut := range []int{1, 3, 5, 7, 11, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	// Whitespace mangling: tabs, CRLF, doubled separators, trailing
+	// blanks, comment markers mid-stream.
+	f.Add("0\t1\r\n1  2\r\n")
+	f.Add("  0 1  \n\n\t\n1 2\n# trailing\n")
+	f.Add("0 1 2 3 4 5\n") // extra fields ignored beyond weight
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in), BuildOptions{Weighted: true})
+		if err != nil {
+			return
+		}
+		if err := Validate(g); err != nil {
+			t.Fatalf("accepted graph fails validation: %v\ninput: %q", err, in)
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("cannot re-serialize accepted graph: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf, BuildOptions{Weighted: true})
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		// The writer emits no line for isolated trailing vertices, so a
+		// round trip may shrink n; edges must survive exactly.
+		if g2.NumEdges() != g.NumEdges() || g2.NumVertices() > g.NumVertices() {
+			t.Fatalf("round trip changed sizes: n %d->%d m %d->%d",
+				g.NumVertices(), g2.NumVertices(), g.NumEdges(), g2.NumEdges())
 		}
 	})
 }

@@ -47,10 +47,17 @@ func ComputeStats(g *Graph) Stats {
 		})
 		return c
 	})
-	s.MemoryBytes = int64(len(g.offsets))*8 + int64(len(g.edges))*4 +
+	s.MemoryBytes = g.MemoryFootprint()
+	return s
+}
+
+// MemoryFootprint returns the approximate resident size of the CSR arrays
+// in bytes. Unlike ComputeStats it does not scan edges, so it is cheap
+// enough to call on every registry listing or metrics render.
+func (g *Graph) MemoryFootprint() int64 {
+	return int64(len(g.offsets))*8 + int64(len(g.edges))*4 +
 		int64(len(g.weights))*4 + int64(len(g.inOffsets))*8 +
 		int64(len(g.inEdges))*4 + int64(len(g.inWeights))*4
-	return s
 }
 
 // String renders the stats as a one-line summary.

@@ -1,0 +1,377 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"ligra/internal/algo"
+	"ligra/internal/core"
+	"ligra/internal/gen"
+	"ligra/internal/graph"
+	"ligra/internal/parallel"
+)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleList)
+	s.mux.HandleFunc("POST /v1/graphs/{name}", s.handleLoad)
+	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleEvict)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/query", s.handleQuery)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"graphs": len(s.reg.List()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.reg))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.reg.List()})
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	_, info, err := s.reg.Get(r.Context(), r.PathValue("name"))
+	if err != nil {
+		status := http.StatusNotFound
+		if !errors.Is(err, ErrNotFound) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Evict(name) {
+		writeError(w, http.StatusNotFound, "graph not found: %q", name)
+		return
+	}
+	s.log.Info("graph evicted", "graph", name)
+	writeJSON(w, http.StatusOK, map[string]any{"evicted": name})
+}
+
+// loadRequest specifies where a graph comes from: a file path
+// (AdjacencyGraph text or this package's binary format) or a synthetic
+// generator family.
+type loadRequest struct {
+	// Path names a graph file; Symmetric declares a text file undirected.
+	Path      string `json:"path,omitempty"`
+	Symmetric bool   `json:"symmetric,omitempty"`
+	// Gen generates instead: rmat | grid3d | randlocal | twitter-sim.
+	Gen   string `json:"gen,omitempty"`
+	Scale int    `json:"scale,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	// Weights, when positive, attaches deterministic hash weights in
+	// [1, Weights] (for the shortest-path algorithms).
+	Weights int32 `json:"weights,omitempty"`
+}
+
+// plan canonicalizes the request into a source description (the
+// single-flight key alongside the name) and a build function.
+func (lr loadRequest) plan() (string, func() (*graph.Graph, error), error) {
+	if lr.Path != "" && lr.Gen != "" {
+		return "", nil, errors.New(`"path" and "gen" are mutually exclusive`)
+	}
+	scale := lr.Scale
+	if scale == 0 {
+		scale = 12
+	}
+	var source string
+	var build func() (*graph.Graph, error)
+	switch {
+	case lr.Path != "":
+		source = fmt.Sprintf("file:%s symmetric=%t", lr.Path, lr.Symmetric)
+		build = func() (*graph.Graph, error) { return graph.LoadFile(lr.Path, lr.Symmetric) }
+	case lr.Gen == "rmat":
+		source = fmt.Sprintf("gen:rmat scale=%d seed=%d", scale, lr.Seed)
+		build = func() (*graph.Graph, error) { return gen.RMAT(scale, 16, gen.PBBSRMAT, lr.Seed) }
+	case lr.Gen == "twitter-sim":
+		source = fmt.Sprintf("gen:twitter-sim scale=%d seed=%d", scale, lr.Seed)
+		build = func() (*graph.Graph, error) { return gen.RMAT(scale, 15, gen.Graph500RMAT, lr.Seed) }
+	case lr.Gen == "grid3d":
+		source = fmt.Sprintf("gen:grid3d scale=%d", scale)
+		build = func() (*graph.Graph, error) {
+			side := 1
+			for side*side*side < 1<<scale {
+				side++
+			}
+			return gen.Grid3D(side)
+		}
+	case lr.Gen == "randlocal":
+		source = fmt.Sprintf("gen:randlocal scale=%d seed=%d", scale, lr.Seed)
+		build = func() (*graph.Graph, error) {
+			n := 1 << scale
+			return gen.RandomLocal(n, 10, n/16, lr.Seed)
+		}
+	case lr.Gen != "":
+		return "", nil, fmt.Errorf("unknown generator %q (have rmat | grid3d | randlocal | twitter-sim)", lr.Gen)
+	default:
+		return "", nil, errors.New(`provide "path" or "gen"`)
+	}
+	if lr.Weights > 0 {
+		source += fmt.Sprintf(" weights=%d", lr.Weights)
+		inner := build
+		build = func() (*graph.Graph, error) {
+			g, err := inner()
+			if err != nil {
+				return nil, err
+			}
+			return g.AddWeights(graph.HashWeight(lr.Weights)), nil
+		}
+	}
+	return source, build, nil
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	name := r.PathValue("name")
+	var req loadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad load request: %v", err)
+		return
+	}
+	source, build, err := req.plan()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	info, err := s.reg.Load(r.Context(), name, source, build)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrConflict) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	s.log.Info("graph loaded", "graph", name, "source", source,
+		"vertices", info.Vertices, "edges", info.Edges,
+		"memory_bytes", info.MemoryBytes,
+		"dur_ms", float64(time.Since(start).Microseconds())/1000)
+	writeJSON(w, http.StatusOK, info)
+}
+
+// queryRequest is the body of POST /v1/graphs/{name}/query. Omitted
+// fields select per-algorithm defaults (the same ones ligra-run uses).
+type queryRequest struct {
+	Algo string `json:"algo"`
+	// Source is the start vertex for traversal algorithms; omitted means
+	// the graph's highest-out-degree vertex.
+	Source *int64 `json:"source,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	K      int    `json:"k,omitempty"`
+	Delta  int64  `json:"delta,omitempty"`
+	// Alpha and Eps parameterize local-cluster.
+	Alpha float64 `json:"alpha,omitempty"`
+	Eps   float64 `json:"eps,omitempty"`
+	// TimeoutMs bounds the query; on expiry the request completes with
+	// 504 and the algorithm's partial result.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Mode forces an edgeMap representation: auto | sparse | dense |
+	// dense-forward.
+	Mode      string `json:"mode,omitempty"`
+	Threshold int64  `json:"threshold,omitempty"`
+}
+
+// queryResponse is the body of a query reply (any status).
+type queryResponse struct {
+	Graph     string         `json:"graph"`
+	Algo      string         `json:"algo"`
+	Summary   string         `json:"summary,omitempty"`
+	Details   map[string]any `json:"details,omitempty"`
+	ElapsedMs float64        `json:"elapsed_ms"`
+	// Partial marks an interrupted query whose Summary/Details describe
+	// the partial result; InterruptedAfterRound is the number of rounds
+	// that completed before the deadline hit.
+	Partial               bool   `json:"partial,omitempty"`
+	InterruptedAfterRound int    `json:"interrupted_after_round,omitempty"`
+	Error                 string `json:"error,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	name := r.PathValue("name")
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad query request: %v", err)
+		return
+	}
+	runner, ok := algo.FindRunner(req.Algo)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "%v", algo.UnknownAlgoError(req.Algo))
+		return
+	}
+	opts := core.Options{Threshold: req.Threshold}
+	switch req.Mode {
+	case "", "auto":
+	case "sparse":
+		opts.Mode = core.ForceSparse
+	case "dense":
+		opts.Mode = core.ForceDense
+	case "dense-forward":
+		opts.Mode = core.ForceDense
+		opts.DenseForward = true
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q", req.Mode)
+		return
+	}
+
+	g, info, err := s.reg.Get(r.Context(), name)
+	if err != nil {
+		status := http.StatusNotFound
+		if !errors.Is(err, ErrNotFound) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	source := info.DefaultSource
+	if req.Source != nil {
+		if *req.Source < 0 || *req.Source >= int64(g.NumVertices()) {
+			writeError(w, http.StatusBadRequest, "source %d out of range (n=%d)", *req.Source, g.NumVertices())
+			return
+		}
+		source = uint32(*req.Source)
+	}
+
+	// Admission: bounded concurrency with a short queue, then 429.
+	if !s.admit(r.Context()) {
+		s.metrics.Rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "server at max concurrency, retry later")
+		return
+	}
+	defer s.release()
+	s.metrics.Admitted.Add(1)
+
+	// The query context: cancelled when the server hard-stops
+	// (CancelInflight), when the client disconnects, or when the
+	// query's deadline expires.
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	stop := context.AfterFunc(r.Context(), cancel)
+	defer stop()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if max := s.cfg.maxTimeout(); timeout > max {
+		timeout = max
+	}
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		defer tcancel()
+	}
+
+	params := algo.RunParams{
+		Source: source, Seed: req.Seed, K: req.K, Delta: req.Delta,
+		Alpha: req.Alpha, Eps: req.Eps, EdgeMap: opts,
+	}
+	am := s.metrics.Algo(runner.Name)
+	am.Requests.Add(1)
+	s.metrics.InFlight.Add(1)
+	start := time.Now()
+	res, err := safeRun(runner, ctx, g, params)
+	elapsed := float64(time.Since(start).Microseconds()) / 1000
+	s.metrics.InFlight.Add(-1)
+	am.LatencyMsSum.Add(elapsed)
+
+	resp := queryResponse{
+		Graph: name, Algo: runner.Name,
+		Summary: res.Summary, Details: sanitizeDetails(res.Details), ElapsedMs: elapsed,
+	}
+	var pe *parallel.PanicError
+	var re *algo.RoundError
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case errors.As(err, &pe):
+		am.Panics.Add(1)
+		s.log.Error("query panic contained", "graph", name, "algo", runner.Name,
+			"panic", fmt.Sprint(pe.Value), "stack", string(pe.Stack))
+		resp.Summary, resp.Details = "", nil
+		resp.Error = fmt.Sprintf("query panicked (contained): %v", pe.Value)
+		writeJSON(w, http.StatusInternalServerError, resp)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		am.Timeouts.Add(1)
+		resp.Partial = true
+		if errors.As(err, &re) {
+			resp.InterruptedAfterRound = re.Round
+		}
+		resp.Error = err.Error()
+		writeJSON(w, http.StatusGatewayTimeout, resp)
+	default:
+		am.Errors.Add(1)
+		resp.Summary, resp.Details = "", nil
+		resp.Error = err.Error()
+		writeJSON(w, http.StatusBadRequest, resp)
+	}
+}
+
+// sanitizeDetails renders non-finite floats as strings, which
+// encoding/json cannot represent (a partial PageRank result, for
+// example, reports an +Inf L1 change).
+func sanitizeDetails(d map[string]any) map[string]any {
+	for k, v := range d {
+		if f, ok := v.(float64); ok && (math.IsInf(f, 0) || math.IsNaN(f)) {
+			d[k] = fmt.Sprint(f)
+		}
+	}
+	return d
+}
+
+// safeRun executes one query with panic containment: worker panics
+// already surface as *parallel.PanicError from the Ctx entry points, and
+// any panic on the query goroutine itself (including re-panics from
+// non-cancellable algorithms) is converted to one here, so a bad query
+// can never take down the process.
+func safeRun(runner algo.Runner, ctx context.Context, g graph.View, p algo.RunParams) (res algo.RunResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*parallel.PanicError); ok {
+				err = pe
+				return
+			}
+			err = &parallel.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return runner.Run(ctx, g, p)
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"expvar"
+	"sync"
+	"time"
+)
+
+// Metrics is the server's counter set, built from expvar's atomic types
+// but scoped to one Server instance (nothing is published to the global
+// expvar registry, so tests can run many servers in one process). The
+// /metrics endpoint renders a Snapshot as JSON.
+type Metrics struct {
+	start time.Time
+
+	// InFlight is the number of queries currently executing.
+	InFlight expvar.Int
+	// Admitted counts queries that acquired an admission slot.
+	Admitted expvar.Int
+	// Rejected counts queries turned away with 429 (admission full).
+	Rejected expvar.Int
+
+	mu    sync.Mutex
+	algos map[string]*AlgoMetrics
+}
+
+// AlgoMetrics is one algorithm's counter set.
+type AlgoMetrics struct {
+	// Requests counts queries dispatched to the algorithm.
+	Requests expvar.Int
+	// Errors counts queries that failed for reasons other than a
+	// timeout or a contained panic (e.g. invalid input for the algorithm).
+	Errors expvar.Int
+	// Timeouts counts queries interrupted by deadline or cancellation
+	// (the client got a 504 with a partial result).
+	Timeouts expvar.Int
+	// Panics counts queries whose worker panicked; the panic was
+	// contained and the server kept serving.
+	Panics expvar.Int
+	// LatencyMsSum accumulates wall-clock execution milliseconds, so
+	// LatencyMsSum/Requests is the mean latency.
+	LatencyMsSum expvar.Float
+}
+
+// NewMetrics returns a zeroed metric set.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), algos: make(map[string]*AlgoMetrics)}
+}
+
+// Algo returns (creating on first use) the named algorithm's counters.
+func (m *Metrics) Algo(name string) *AlgoMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, ok := m.algos[name]
+	if !ok {
+		a = &AlgoMetrics{}
+		m.algos[name] = a
+	}
+	return a
+}
+
+// AlgoSnapshot is the JSON rendering of one algorithm's counters.
+type AlgoSnapshot struct {
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	Timeouts     int64   `json:"timeouts"`
+	Panics       int64   `json:"panics"`
+	LatencyMsSum float64 `json:"latency_ms_sum"`
+}
+
+// Snapshot is the JSON document served at /metrics.
+type Snapshot struct {
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	InFlight      int64                   `json:"in_flight"`
+	Admitted      int64                   `json:"admitted"`
+	Rejected429   int64                   `json:"rejected_429"`
+	Algos         map[string]AlgoSnapshot `json:"algos"`
+	Graphs        []GraphInfo             `json:"graphs"`
+	GraphBytes    int64                   `json:"graph_bytes_total"`
+}
+
+// Snapshot captures every counter plus the registry's per-graph memory
+// estimates.
+func (m *Metrics) Snapshot(reg *Registry) Snapshot {
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		InFlight:      m.InFlight.Value(),
+		Admitted:      m.Admitted.Value(),
+		Rejected429:   m.Rejected.Value(),
+		Algos:         make(map[string]AlgoSnapshot),
+	}
+	m.mu.Lock()
+	for name, a := range m.algos {
+		s.Algos[name] = AlgoSnapshot{
+			Requests:     a.Requests.Value(),
+			Errors:       a.Errors.Value(),
+			Timeouts:     a.Timeouts.Value(),
+			Panics:       a.Panics.Value(),
+			LatencyMsSum: a.LatencyMsSum.Value(),
+		}
+	}
+	m.mu.Unlock()
+	if reg != nil {
+		s.Graphs = reg.List()
+		for _, info := range s.Graphs {
+			s.GraphBytes += info.MemoryBytes
+		}
+	}
+	return s
+}

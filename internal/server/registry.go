@@ -1,0 +1,205 @@
+// Package server implements ligra-serve's long-running graph analytics
+// service: a registry of named resident graphs, a query engine that
+// dispatches to the shared algorithm table (internal/algo.Runners) through
+// the cancellation layer, bounded admission, and built-in observability
+// (request logging, /healthz, /metrics).
+//
+// The serving model follows the shape that systems moving Ligra-style
+// processing online converge on (BLADYG and the streaming-framework
+// deployments surveyed by Besta et al.): graphs stay loaded in shared
+// memory, queries arrive over an API, and every query is bounded — by a
+// deadline (cooperative cancellation from PR 1), by an admission
+// semaphore, and by panic containment so one bad query cannot take down
+// the process.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ligra/internal/graph"
+)
+
+// Registry errors. Handlers map these to HTTP statuses.
+var (
+	// ErrNotFound reports a name with no registered graph.
+	ErrNotFound = errors.New("graph not found")
+	// ErrConflict reports a load whose name is already registered with a
+	// different source specification.
+	ErrConflict = errors.New("graph name already registered with a different source")
+)
+
+// GraphInfo is the JSON-friendly description of one registered graph.
+type GraphInfo struct {
+	Name        string    `json:"name"`
+	Source      string    `json:"source"`
+	Loading     bool      `json:"loading,omitempty"`
+	LoadedAt    time.Time `json:"loaded_at"`
+	LoadMillis  float64   `json:"load_ms,omitempty"`
+	Vertices    int       `json:"vertices"`
+	Edges       int64     `json:"edges"`
+	Symmetric   bool      `json:"symmetric"`
+	Weighted    bool      `json:"weighted"`
+	MemoryBytes int64     `json:"memory_bytes"`
+	// DefaultSource is the highest-out-degree vertex, used when a query
+	// does not name a source.
+	DefaultSource uint32 `json:"default_source"`
+}
+
+type regEntry struct {
+	// ready is closed when the load (in the goroutine of the first
+	// requester) finishes; g/err/info are immutable afterwards.
+	ready  chan struct{}
+	source string
+	g      *graph.Graph
+	err    error
+	info   GraphInfo
+}
+
+// Registry is the set of named resident graphs. Loads of the same name
+// and source are single-flight: concurrent requesters share one read, and
+// repeat loads return the already-resident graph without touching disk.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*regEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*regEntry)}
+}
+
+// Load registers name, building the graph with build if it is not already
+// resident. source is the canonical description of where the graph comes
+// from: a second load of the same name joins the in-flight (or completed)
+// load when the sources match and fails with ErrConflict when they
+// differ. The first requester runs build on its own goroutine; everyone
+// blocks until the load settles or ctx is done. A failed build is
+// forgotten so it can be retried.
+func (r *Registry) Load(ctx context.Context, name, source string, build func() (*graph.Graph, error)) (GraphInfo, error) {
+	r.mu.Lock()
+	if e, ok := r.entries[name]; ok {
+		r.mu.Unlock()
+		if e.source != source {
+			return GraphInfo{}, fmt.Errorf("%w: %q is %s", ErrConflict, name, e.source)
+		}
+		return r.wait(ctx, e)
+	}
+	e := &regEntry{ready: make(chan struct{}), source: source}
+	e.info = GraphInfo{Name: name, Source: source, Loading: true}
+	r.entries[name] = e
+	r.mu.Unlock()
+
+	start := time.Now()
+	g, err := build()
+	if err != nil {
+		e.err = fmt.Errorf("loading %q: %w", name, err)
+		r.mu.Lock()
+		// Forget the failure, unless an evict+reload already replaced us.
+		if r.entries[name] == e {
+			delete(r.entries, name)
+		}
+		r.mu.Unlock()
+		close(e.ready)
+		return GraphInfo{}, e.err
+	}
+	e.g = g
+	e.info = describe(name, source, g)
+	e.info.LoadedAt = start
+	e.info.LoadMillis = float64(time.Since(start).Microseconds()) / 1000
+	close(e.ready)
+	return e.info, nil
+}
+
+// wait blocks until e settles or ctx is done.
+func (r *Registry) wait(ctx context.Context, e *regEntry) (GraphInfo, error) {
+	select {
+	case <-e.ready:
+		return e.info, e.err
+	case <-ctx.Done():
+		return GraphInfo{}, ctx.Err()
+	}
+}
+
+// Get returns the named resident graph, blocking on an in-flight load
+// until it settles or ctx is done.
+func (r *Registry) Get(ctx context.Context, name string) (*graph.Graph, GraphInfo, error) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, GraphInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if info, err := r.wait(ctx, e); err != nil {
+		return nil, info, err
+	}
+	return e.g, e.info, nil
+}
+
+// Evict removes the named graph, reporting whether it was registered. An
+// in-flight load is unregistered immediately; its requesters still
+// receive the load's outcome.
+func (r *Registry) Evict(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		return false
+	}
+	delete(r.entries, name)
+	return true
+}
+
+// List returns every registered graph (including in-flight loads, marked
+// Loading) sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.Lock()
+	entries := make([]*regEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	infos := make([]GraphInfo, len(entries))
+	for i, e := range entries {
+		select {
+		case <-e.ready:
+			infos[i] = e.info
+		default:
+			infos[i] = e.info // the Loading placeholder
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// TotalMemoryBytes sums the footprint of every resident graph.
+func (r *Registry) TotalMemoryBytes() int64 {
+	var total int64
+	for _, info := range r.List() {
+		total += info.MemoryBytes
+	}
+	return total
+}
+
+// describe builds the registry's listing entry for a loaded graph.
+func describe(name, source string, g *graph.Graph) GraphInfo {
+	info := GraphInfo{
+		Name:        name,
+		Source:      source,
+		Vertices:    g.NumVertices(),
+		Edges:       g.NumEdges(),
+		Symmetric:   g.Symmetric(),
+		Weighted:    g.Weighted(),
+		MemoryBytes: g.MemoryFootprint(),
+	}
+	bestDeg := -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(uint32(v)); d > bestDeg {
+			info.DefaultSource, bestDeg = uint32(v), d
+		}
+	}
+	return info
+}

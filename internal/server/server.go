@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxConcurrent bounds the number of queries executing at once; 0
+	// selects 2*GOMAXPROCS. Queries beyond the bound wait up to QueueWait
+	// for a slot and are then rejected with 429.
+	MaxConcurrent int
+	// QueueWait is how long an over-admission query may wait for a slot
+	// before 429; 0 rejects immediately.
+	QueueWait time.Duration
+	// DefaultTimeout applies to queries that set no timeout_ms; 0 means
+	// unbounded.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-query timeout_ms a client may request; 0
+	// selects 60s.
+	MaxTimeout time.Duration
+	// Logger receives structured request logs; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c Config) maxConcurrent() int {
+	if c.MaxConcurrent > 0 {
+		return c.MaxConcurrent
+	}
+	return 2 * runtime.GOMAXPROCS(0)
+}
+
+func (c Config) maxTimeout() time.Duration {
+	if c.MaxTimeout > 0 {
+		return c.MaxTimeout
+	}
+	return 60 * time.Second
+}
+
+// Server is the ligra-serve service: registry + query engine + metrics.
+// Create one with New, mount Handler on an http.Server, and on shutdown
+// call StartDrain (stop accepting queries), then http.Server.Shutdown,
+// then CancelInflight (cooperatively cancel whatever drain did not
+// finish).
+type Server struct {
+	cfg      Config
+	log      *slog.Logger
+	reg      *Registry
+	metrics  *Metrics
+	sem      chan struct{}
+	draining atomic.Bool
+
+	// baseCtx is the parent of every query context; CancelInflight
+	// cancels it, stopping cancellable algorithms within one chunk.
+	baseCtx        context.Context
+	cancelInflight context.CancelFunc
+
+	mux *http.ServeMux
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &Server{
+		cfg:     cfg,
+		log:     logger,
+		reg:     NewRegistry(),
+		metrics: NewMetrics(),
+		sem:     make(chan struct{}, cfg.maxConcurrent()),
+	}
+	s.baseCtx, s.cancelInflight = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Registry exposes the graph registry (cmd/ligra-serve preloads through
+// it; tests inspect it).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics exposes the counter set.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the root handler: the API mux wrapped in request
+// logging.
+func (s *Server) Handler() http.Handler {
+	return s.logRequests(s.mux)
+}
+
+// StartDrain puts the server into draining mode: /healthz reports 503 (so
+// load balancers stop routing here) and new loads/queries are refused
+// with 503, while in-flight queries keep running. Safe to call more than
+// once.
+func (s *Server) StartDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.log.Info("drain started")
+	}
+}
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// CancelInflight cancels the context under every executing query;
+// cancellable algorithms stop within roughly one chunk of parallel work
+// and their requests complete with 504 partial results. Call after the
+// drain grace period has elapsed.
+func (s *Server) CancelInflight() {
+	s.log.Info("cancelling in-flight queries")
+	s.cancelInflight()
+}
+
+// admit acquires an admission slot, waiting up to QueueWait. It reports
+// whether the query may proceed; the caller must release() exactly once
+// when it did.
+func (s *Server) admit(ctx context.Context) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if s.cfg.QueueWait <= 0 {
+		return false
+	}
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// logRequests emits one structured log line per request.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
