@@ -1,0 +1,42 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"ligra/internal/graph"
+)
+
+func TestReproListDuringLoadRace(t *testing.T) {
+	g := testGraph(t)
+	r := NewRegistry()
+	started := make(chan struct{})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					r.List()
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(done)
+		_, _ = r.Load(context.Background(), "g", "src", func() (*graph.Graph, error) {
+			close(started)
+			time.Sleep(50 * time.Millisecond)
+			return g, nil
+		})
+	}()
+	<-started
+	wg.Wait()
+}
