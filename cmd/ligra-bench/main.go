@@ -9,7 +9,17 @@
 //	threshold     edgeMap switch-threshold sensitivity sweep
 //	denseforward  read-based vs write-based dense traversal
 //	compress      Ligra+ byte-compression space/time ablation
+//	dedup         sparse-frontier duplicate-removal strategies
+//	bucketing     Julienne bucketing ablation
+//	hotpath       edgeMap hot-path timings (the BENCH_baseline.json suite)
 //	all           everything above, in order
+//
+// -json writes a machine-readable report; -against FILE compares the
+// current run's measurements to a previously written report and warns
+// when any is more than 10% slower (see docs/PERFORMANCE.md):
+//
+//	ligra-bench -experiment hotpath -scale 16 -json BENCH_baseline.json
+//	ligra-bench -experiment hotpath -scale 16 -against BENCH_baseline.json
 //
 // Usage:
 //
@@ -22,11 +32,17 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"ligra/internal/bench"
+	"ligra/internal/core"
 )
+
+// regressionTolerance is the -against warning threshold: measurements more
+// than 10% slower than their baseline are flagged.
+const regressionTolerance = 0.10
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -44,17 +60,34 @@ func run(args []string, stdout io.Writer) error {
 		rounds     = fs.Int("rounds", 3, "timed repetitions per measurement (median reported)")
 		maxProcs   = fs.Int("maxprocs", 0, "largest worker count in the scalability sweep (0 = 2*GOMAXPROCS)")
 		budget     = fs.Duration("budget", 0, "wall-clock budget for the whole run (0 = none); experiments stop between measurements when it expires and report partial tables")
-		jsonPath   = fs.String("json", "", "also write machine-readable results (per-experiment times, graph sizes, GOMAXPROCS) to this path")
+		jsonPath   = fs.String("json", "", "also write machine-readable results (per-measurement times, traversal counters, graph sizes, GOMAXPROCS) to this path")
+		against    = fs.String("against", "", "baseline JSON report to compare this run to; warns when a measurement is >10% slower")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
+	var measurements []bench.JSONMeasurement
 	cfg := bench.Config{
 		Scale:    *scale,
 		Rounds:   *rounds,
 		MaxProcs: *maxProcs,
 		Out:      stdout,
+		Record: func(id string, seconds float64) {
+			measurements = append(measurements, bench.JSONMeasurement{ID: id, Seconds: seconds})
+		},
 	}
 	if *budget > 0 {
 		cfg.Deadline = time.Now().Add(*budget)
@@ -65,6 +98,7 @@ func run(args []string, stdout io.Writer) error {
 		ids = strings.Split(*experiment, ",")
 	}
 	exps := bench.Experiments()
+	statsBefore := core.SnapshotStats()
 	var timings []bench.JSONExperiment
 	for i, id := range ids {
 		runExp, ok := exps[id]
@@ -88,23 +122,63 @@ func run(args []string, stdout io.Writer) error {
 		timings = append(timings, bench.JSONExperiment{ID: id, Seconds: dur.Seconds()})
 		fmt.Fprintf(stdout, "[%s completed in %v]\n", id, dur.Round(time.Millisecond))
 	}
+	traversal := core.SnapshotStats().Sub(statsBefore)
+	report := &bench.JSONReport{
+		Timestamp:    time.Now().Format(time.RFC3339),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Scale:        *scale,
+		Rounds:       *rounds,
+		Experiments:  timings,
+		Measurements: measurements,
+		Traversal:    &traversal,
+	}
 	if *jsonPath != "" {
 		graphs, err := bench.SuiteInfo(*scale)
 		if err != nil {
 			return fmt.Errorf("json report: %w", err)
 		}
-		report := bench.JSONReport{
-			Timestamp:   time.Now().Format(time.RFC3339),
-			GoMaxProcs:  runtime.GOMAXPROCS(0),
-			Scale:       *scale,
-			Rounds:      *rounds,
-			Graphs:      graphs,
-			Experiments: timings,
-		}
+		report.Graphs = graphs
 		if err := report.WriteFile(*jsonPath); err != nil {
 			return fmt.Errorf("json report: %w", err)
 		}
 		fmt.Fprintf(stdout, "\n[json results written to %s]\n", *jsonPath)
+	}
+	if *against != "" {
+		if err := compare(stdout, *against, report); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compare prints the baseline comparison table and per-measurement
+// regression warnings. Regressions warn rather than fail: the comparison
+// is a review aid, and CI environments are too noisy for a hard gate.
+func compare(stdout io.Writer, baselinePath string, current *bench.JSONReport) error {
+	baseline, err := bench.ReadReport(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	deltas := bench.Compare(baseline, current)
+	if len(deltas) == 0 {
+		fmt.Fprintf(stdout, "\n[no timings in common with baseline %s — run the same -experiment set]\n", baselinePath)
+		return nil
+	}
+	fmt.Fprintf(stdout, "\ncomparison against %s (scale %d, %d-way):\n",
+		baselinePath, baseline.Scale, baseline.GoMaxProcs)
+	warned := 0
+	for _, d := range deltas {
+		verdict := fmt.Sprintf("%+.1f%%", (d.Ratio-1)*100)
+		if d.Regression(regressionTolerance) {
+			verdict += "  WARNING: regression >10%"
+			warned++
+		}
+		fmt.Fprintf(stdout, "  %-28s %.4fs -> %.4fs  (%s)\n", d.ID, d.Base, d.Current, verdict)
+	}
+	if warned > 0 {
+		fmt.Fprintf(stdout, "[%d measurement(s) regressed more than 10%% against baseline]\n", warned)
+	} else {
+		fmt.Fprintln(stdout, "[no regressions beyond 10% tolerance]")
 	}
 	return nil
 }

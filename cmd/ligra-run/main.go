@@ -9,6 +9,10 @@
 //	ligra-run -algo pagerank -gen rmat -scale 16
 //	ligra-run -algo bellman-ford -gen grid3d -scale 15 -weights 31
 //	ligra-run -algo components -graph web.bin -mode sparse -rounds 5
+//	ligra-run -algo bfs -gen rmat -scale 16 -stats
+//
+// -trace prints the per-round frontier/mode table; -stats additionally
+// prints the aggregate traversal counters (see docs/PERFORMANCE.md §5).
 //
 // Exit status: 0 on success, 1 on load/usage error, 2 when -timeout
 // expired and a partial result was reported; the final output line states
@@ -65,6 +69,7 @@ func run(args []string, stdout io.Writer) error {
 		threshold = fs.Int64("threshold", 0, "edgeMap dense-switch threshold (0 = |E|/20)")
 		rounds    = fs.Int("rounds", 1, "timed repetitions (fastest reported)")
 		trace     = fs.Bool("trace", false, "print the per-round edgeMap trace")
+		stats     = fs.Bool("stats", false, "print per-round dense/sparse decisions and the aggregate traversal counters")
 		compressG = fs.Bool("compress", false, "run on the Ligra+ byte-compressed representation")
 		procs     = fs.Int("procs", 0, "worker goroutines (0 = GOMAXPROCS)")
 		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the computation (0 = none); on expiry the algorithm stops cooperatively, its partial result is reported, and the exit status is 2")
@@ -115,7 +120,7 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 	var tr *ligra.Trace
-	if *trace {
+	if *trace || *stats {
 		tr = &ligra.Trace{}
 		opts.Trace = tr
 	}
@@ -141,6 +146,7 @@ func run(args []string, stdout io.Writer) error {
 		ctx = c
 	}
 	params := algo.RunParams{Source: src, EdgeMap: opts}
+	statsBefore := ligra.SnapshotTraversalStats()
 	var best time.Duration
 	var res algo.RunResult
 	var interruptErr error
@@ -171,15 +177,25 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "time: %v (best of %d)\n", best, done)
 	if tr != nil {
-		fmt.Fprintln(stdout, "round  |frontier|  outdegrees  mode    output")
+		fmt.Fprintln(stdout, "round  |frontier|  outdegrees  mode       output")
 		for _, e := range tr.Entries {
 			m := "sparse"
-			if e.Dense {
+			switch {
+			case e.DenseForward:
+				m = "dense-fwd"
+			case e.Dense:
 				m = "dense"
 			}
-			fmt.Fprintf(stdout, "%5d  %10d  %10d  %-6s  %d\n",
+			fmt.Fprintf(stdout, "%5d  %10d  %10d  %-9s  %d\n",
 				e.Round, e.FrontierSize, e.OutDegrees, m, e.OutputSize)
 		}
+	}
+	if *stats {
+		d := ligra.SnapshotTraversalStats().Sub(statsBefore)
+		fmt.Fprintf(stdout, "traversal stats: calls=%d sparse=%d dense=%d dense-forward=%d\n",
+			d.Calls, d.Sparse, d.Dense, d.DenseForward)
+		fmt.Fprintf(stdout, "                 frontier-vertices=%d output-vertices=%d edges-weighed=%d\n",
+			d.FrontierVertices, d.OutputVertices, d.EdgesScanned)
 	}
 	if interruptErr != nil {
 		fmt.Fprintln(stdout, "status: timeout (exit 2)")

@@ -66,6 +66,11 @@ func BFSCtx(ctx context.Context, g graph.View, source uint32, opts core.Options)
 		Cond: func(d uint32) bool { return parents[d] == core.None },
 	}
 
+	// A destination is claimed at most once per round (the CAS / None check
+	// is idempotent), so a dense round may stop scanning a vertex's
+	// in-edges after the first successful claim.
+	opts.DenseEarlyExit = true
+
 	opts = withCtx(opts, ctx)
 	frontier := core.NewSingle(n, source)
 	visited := 1
@@ -120,6 +125,8 @@ func BFSLevelsCtx(ctx context.Context, g graph.View, source uint32, opts core.Op
 		},
 		Cond: func(d uint32) bool { return levels[d] == -1 },
 	}
+	// Same claim-once structure as BFS: dense rounds may early-exit.
+	opts.DenseEarlyExit = true
 	opts = withCtx(opts, ctx)
 	frontier := core.NewSingle(n, source)
 	for !frontier.IsEmpty() {

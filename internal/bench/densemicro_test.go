@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"ligra/internal/atomicx"
+	"ligra/internal/core"
+	"ligra/internal/parallel"
+)
+
+// benchDenseRound times one forced-dense EdgeMap with a CC-style priority
+// update, isolating the pull path from algorithm-level conversions.
+func benchDenseRound(b *testing.B, fullFrontier bool) {
+	g, _ := benchInput(b)
+	n := g.NumVertices()
+	ids := make([]uint32, n)
+	prev := make([]uint32, n)
+	var frontier *core.VertexSubset
+	if fullFrontier {
+		frontier = core.NewAll(n)
+	} else {
+		frontier = core.NewFromFunc(n, func(v uint32) bool { return v%16 != 0 })
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		parallel.Iota(ids, 0)
+		parallel.Iota(prev, 0)
+		b.StartTimer()
+		update := func(s, d uint32, _ int32) bool {
+			sid := atomic.LoadUint32(&ids[s])
+			orig := atomic.LoadUint32(&ids[d])
+			if atomicx.WriteMinUint32(&ids[d], sid) {
+				return orig == prev[d]
+			}
+			return false
+		}
+		core.EdgeMap(g, frontier, core.EdgeFuncs{Update: update, UpdateAtomic: update},
+			core.Options{Mode: core.ForceDense})
+	}
+}
+
+func BenchmarkDensePullFull(b *testing.B)    { benchDenseRound(b, true) }
+func BenchmarkDensePullPartial(b *testing.B) { benchDenseRound(b, false) }

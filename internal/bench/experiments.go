@@ -29,6 +29,18 @@ type Config struct {
 	Deadline time.Time
 	// Out receives the rendered tables.
 	Out io.Writer
+	// Record, when non-nil, receives one (id, median seconds) pair per
+	// named measurement, so harness drivers (ligra-bench -json / -against)
+	// can persist and diff individual timings rather than whole-experiment
+	// wall times.
+	Record func(id string, seconds float64)
+}
+
+// record forwards a named measurement to the Record hook, if any.
+func (c Config) record(id string, seconds float64) {
+	if c.Record != nil {
+		c.Record(id, seconds)
+	}
 }
 
 // Expired reports whether the wall-clock budget (if any) is exhausted.
@@ -470,10 +482,11 @@ func Experiments() map[string]func(Config) error {
 		"compress":     CompressAblation,
 		"dedup":        DedupAblation,
 		"bucketing":    BucketingAblation,
+		"hotpath":      HotPath,
 	}
 }
 
 // ExperimentOrder lists the IDs in presentation order.
 func ExperimentOrder() []string {
-	return []string{"table1", "table2", "scalability", "frontier", "threshold", "denseforward", "compress", "dedup", "bucketing"}
+	return []string{"table1", "table2", "scalability", "frontier", "threshold", "denseforward", "compress", "dedup", "bucketing", "hotpath"}
 }

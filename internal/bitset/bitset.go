@@ -80,6 +80,20 @@ func (b *Bitset) Reset() {
 	}
 }
 
+// SetAll sets every bit in [0, Len()), one word at a time, preserving the
+// invariant that bits beyond Len in the final word stay zero.
+func (b *Bitset) SetAll() {
+	if len(b.words) == 0 {
+		return
+	}
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if tail := uint(b.n % wordBits); tail != 0 {
+		b.words[len(b.words)-1] = (1 << tail) - 1
+	}
+}
+
 // CopyFrom copies the contents of src (which must have the same length).
 func (b *Bitset) CopyFrom(src *Bitset) {
 	if b.n != src.n {

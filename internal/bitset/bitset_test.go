@@ -175,3 +175,27 @@ func TestWordsExposed(t *testing.T) {
 		t.Errorf("Words = %v", w)
 	}
 }
+
+func TestSetAll(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 1000} {
+		b := New(n)
+		b.SetAll()
+		if got := b.Count(); got != n {
+			t.Fatalf("n=%d: Count() = %d after SetAll", n, got)
+		}
+		for i := 0; i < n; i++ {
+			if !b.Get(i) {
+				t.Fatalf("n=%d: bit %d clear after SetAll", n, i)
+			}
+		}
+		// The tail-word invariant must hold: bits beyond Len stay zero so
+		// word-at-a-time consumers (popcounts, packs) see no phantom members.
+		if words := b.Words(); len(words) > 0 {
+			if tail := uint(n % 64); tail != 0 {
+				if words[len(words)-1]>>tail != 0 {
+					t.Fatalf("n=%d: bits beyond Len set in final word", n)
+				}
+			}
+		}
+	}
+}

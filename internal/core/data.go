@@ -76,14 +76,15 @@ func EdgeMapData[T any](g graph.View, u *VertexSubset, f EdgeDataFuncs[T], opts 
 		panic("core: EdgeMapData frontier universe does not match graph")
 	}
 	if u.IsEmpty() {
+		globalStats.record(0, 0, false, false, 0)
 		return NewDataSubset[T](n, nil)
 	}
 
-	outDeg, _ := frontierOutDegrees(nil, g, u)
 	threshold := opts.Threshold
 	if threshold <= 0 {
 		threshold = g.NumEdges() / DefaultThresholdDenominator
 	}
+	outDeg, _ := frontierOutDegrees(nil, g, u, threshold-int64(u.Size()))
 	dense := int64(u.Size())+outDeg > threshold
 	switch opts.Mode {
 	case ForceSparse:
@@ -91,10 +92,14 @@ func EdgeMapData[T any](g graph.View, u *VertexSubset, f EdgeDataFuncs[T], opts 
 	case ForceDense:
 		dense = true
 	}
+	var out *DataSubset[T]
 	if dense {
-		return edgeMapDataDense(g, u, f, opts)
+		out = edgeMapDataDense(g, u, f, opts)
+	} else {
+		out = edgeMapDataSparse(g, u, f, opts)
 	}
-	return edgeMapDataSparse(g, u, f, opts)
+	globalStats.record(u.Size(), outDeg, dense, false, out.Size())
+	return out
 }
 
 // edgeMapDataSparse pushes over the frontier's out-edges, gathering

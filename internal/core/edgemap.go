@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +69,16 @@ type Options struct {
 	// NoOutput skips constructing the output frontier (Ligra's no_output
 	// flag); EdgeMap returns an empty subset.
 	NoOutput bool
+	// DenseEarlyExit lets the dense (pull) traversal stop scanning a
+	// destination's in-edges after its first successful update. That is
+	// sound only when updates are idempotent membership claims — any
+	// later successful update for the same destination must be fully
+	// redundant, side effects included. BFS-style visited/parent CAS
+	// claims qualify; priority updates (writeMin labels or distances) do
+	// NOT, because later updates refine the value. Algorithms opt in
+	// explicitly; the flag is independent of RemoveDuplicates, which only
+	// promises that duplicate *membership* is collapsed.
+	DenseEarlyExit bool
 	// Trace, when non-nil, records one entry per EdgeMap call for the
 	// frontier-trace experiments.
 	Trace *Trace
@@ -161,17 +172,18 @@ func EdgeMapCtx(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*Vert
 	start := time.Now()
 	if u.IsEmpty() {
 		out := NewEmpty(n)
+		globalStats.record(0, 0, false, false, 0)
 		traceRecord(opts.Trace, u, 0, false, false, out, start)
 		return out, nil
 	}
 
-	outDeg, err := frontierOutDegrees(ctx, g, u)
-	if err != nil {
-		return nil, err
-	}
 	threshold := opts.Threshold
 	if threshold <= 0 {
 		threshold = g.NumEdges() / DefaultThresholdDenominator
+	}
+	outDeg, err := frontierOutDegrees(ctx, g, u, threshold-int64(u.Size()))
+	if err != nil {
+		return nil, err
 	}
 	dense := int64(u.Size())+outDeg > threshold
 	switch opts.Mode {
@@ -194,6 +206,7 @@ func EdgeMapCtx(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*Vert
 	if err != nil {
 		return nil, err
 	}
+	globalStats.record(u.Size(), outDeg, dense, dense && opts.DenseForward, out.Size())
 	traceRecord(opts.Trace, u, outDeg, dense, dense && opts.DenseForward, out, start)
 	return out, nil
 }
@@ -213,28 +226,100 @@ func traceRecord(t *Trace, u *VertexSubset, outDeg int64, dense, fwd bool, out *
 	})
 }
 
+// Block sizes for the capped degree sum: small enough that the scan stops
+// within one or two blocks of crossing the threshold, large enough that a
+// full scan dispatches only a handful of chunks.
+const (
+	outDegGrainIDs   = 4096 // sparse frontier: vertex IDs per block
+	outDegGrainWords = 64   // dense frontier: 64-bit words (4096 bits) per block
+)
+
 // frontierOutDegrees computes the total out-degree of the frontier, the
 // quantity the paper's switch heuristic compares against |E|/20.
-func frontierOutDegrees(ctx context.Context, g graph.View, u *VertexSubset) (int64, error) {
+//
+// The caller only needs to know whether the sum exceeds stopAfter, so the
+// scan short-circuits: once the running sum passes stopAfter, remaining
+// blocks are skipped and the returned value is a partial sum that is
+// guaranteed to exceed stopAfter. Pass a negative stopAfter to force the
+// short-circuit immediately, or math.MaxInt64 for an exact total.
+func frontierOutDegrees(ctx context.Context, g graph.View, u *VertexSubset, stopAfter int64) (int64, error) {
+	if u.Size() == u.UniverseSize() {
+		// Full frontier (the first round of most algorithms): the sum of all
+		// out-degrees is the edge count, no scan needed.
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		return g.NumEdges(), nil
+	}
+	var sum atomic.Int64
 	if u.HasSparse() {
 		ids := u.ToSparse()
-		return parallel.SumFuncCtx(ctx, len(ids), func(i int) int64 {
-			return int64(g.OutDegree(ids[i]))
+		blocks := (len(ids) + outDegGrainIDs - 1) / outDegGrainIDs
+		err := parallel.ForGrainCtx(ctx, blocks, 1, func(b int) {
+			if sum.Load() > stopAfter {
+				return
+			}
+			lo := b * outDegGrainIDs
+			hi := min(lo+outDegGrainIDs, len(ids))
+			var local int64
+			for i := lo; i < hi; i++ {
+				local += int64(g.OutDegree(ids[i]))
+			}
+			sum.Add(local)
 		})
+		return sum.Load(), err
 	}
-	d := u.ToDense()
-	return parallel.SumFuncCtx(ctx, u.UniverseSize(), func(i int) int64 {
-		if d.Get(i) {
-			return int64(g.OutDegree(uint32(i)))
+	// Dense: walk the frontier bitset a word at a time, skipping empty
+	// words, instead of testing all n bits individually.
+	words := u.ToDense().Words()
+	blocks := (len(words) + outDegGrainWords - 1) / outDegGrainWords
+	err := parallel.ForGrainCtx(ctx, blocks, 1, func(b int) {
+		if sum.Load() > stopAfter {
+			return
 		}
-		return 0
+		var local int64
+		for wi := b * outDegGrainWords; wi < min((b+1)*outDegGrainWords, len(words)); wi++ {
+			w := words[wi]
+			if w == 0 {
+				continue
+			}
+			base := uint32(wi * 64)
+			for w != 0 {
+				local += int64(g.OutDegree(base + uint32(bits.TrailingZeros64(w))))
+				w &= w - 1
+			}
+		}
+		sum.Add(local)
 	})
+	return sum.Load(), err
+}
+
+// sparseSeg records where one chunk's output landed inside a worker's
+// local buffer, so the chunks can be reassembled in input order.
+type sparseSeg struct {
+	chunk, start, end int
+}
+
+// sparseWorkerBuf is one worker's private output accumulation for
+// edgeMapSparse. Workers only ever touch their own entry, so appends are
+// contention-free; the trailing pad keeps neighbouring workers' slice
+// headers on different cache lines.
+type sparseWorkerBuf struct {
+	ids  []uint32
+	segs []sparseSeg
+	_    [16]byte
 }
 
 // edgeMapSparse is Ligra's edgeMapSparse: push over the out-edges of the
-// frontier vertices, collecting successful targets via prefix-sum offsets
-// and a pack. CSR graphs take a raw-slice fast path that avoids the
-// per-edge iterator callback.
+// frontier vertices. Successful targets are appended to per-worker output
+// buffers (no shared cursor, no atomics, no degree-sized scratch with
+// sentinel holes) and concatenated afterward in chunk order, so the
+// output is exactly the old prefix-sum-and-pack result — successes in
+// frontier edge order — at the cost of writing only the successes instead
+// of one slot per scanned edge. CSR graphs take a raw-slice fast path
+// that avoids the per-edge iterator callback.
 func edgeMapSparse(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
 	n := g.NumVertices()
 	ids := u.ToSparse()
@@ -274,45 +359,56 @@ func edgeMapSparse(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*V
 		return NewEmpty(n), nil
 	}
 
-	offsets, total := parallel.ScanFunc(len(ids), func(i int) int64 {
-		return int64(g.OutDegree(ids[i]))
-	})
-	slots := make([]uint32, total)
-	err := parallel.ForCtx(opts.Context, len(ids), func(i int) {
-		s := ids[i]
-		k := offsets[i]
-		if csr != nil {
-			row, wts := csr.OutEdgesSlice(s)
-			for j, d := range row {
-				w := int32(1)
-				if wts != nil {
-					w = wts[j]
+	grain := parallel.AutoGrain(len(ids))
+	nchunks := (len(ids) + grain - 1) / grain
+	workers := make([]sparseWorkerBuf, parallel.Procs())
+	segLen := make([]int64, nchunks)
+	err := parallel.ForWorkerChunksCtx(opts.Context, len(ids), grain, func(wk, c, lo, hi int) {
+		wb := &workers[wk]
+		buf := wb.ids
+		start := len(buf)
+		for i := lo; i < hi; i++ {
+			s := ids[i]
+			if csr != nil {
+				row, wts := csr.OutEdgesSlice(s)
+				for j, d := range row {
+					w := int32(1)
+					if wts != nil {
+						w = wts[j]
+					}
+					if (cond == nil || cond(d)) && update(s, d, w) {
+						buf = append(buf, d)
+					}
 				}
+				continue
+			}
+			g.OutNeighbors(s, func(d uint32, w int32) bool {
 				if (cond == nil || cond(d)) && update(s, d, w) {
-					slots[k] = d
-				} else {
-					slots[k] = None
+					buf = append(buf, d)
 				}
-				k++
-			}
-			return
+				return true
+			})
 		}
-		g.OutNeighbors(s, func(d uint32, w int32) bool {
-			if (cond == nil || cond(d)) && update(s, d, w) {
-				slots[k] = d
-			} else {
-				slots[k] = None
-			}
-			k++
-			return true
-		})
+		wb.ids = buf
+		wb.segs = append(wb.segs, sparseSeg{chunk: c, start: start, end: len(buf)})
+		// Each chunk is dispatched to exactly one worker: no contention.
+		segLen[c] = int64(len(buf) - start)
 	})
 	if err != nil {
-		// slots is only partially written; unvisited entries are zero (a
-		// real vertex ID), so no frontier can be derived from it.
+		// Undispatched chunks never wrote their segment; no frontier can
+		// be derived from the partial buffers.
 		return nil, err
 	}
-	outIDs := parallel.Filter(slots, func(d uint32) bool { return d != None })
+	// Exclusive scan turns per-chunk lengths into output offsets; each
+	// worker then copies its segments into place in parallel.
+	total := parallel.ScanExclusive(segLen, segLen)
+	outIDs := make([]uint32, total)
+	parallel.For(len(workers), func(wk int) {
+		wb := &workers[wk]
+		for _, sg := range wb.segs {
+			copy(outIDs[segLen[sg.chunk]:], wb.ids[sg.start:sg.end])
+		}
+	})
 	if opts.RemoveDuplicates && len(outIDs) > 1 {
 		if opts.Dedup == DedupHash {
 			outIDs = removeDuplicatesHash(outIDs)
@@ -375,10 +471,26 @@ func removeDuplicates(n int, ids []uint32) []uint32 {
 	return out
 }
 
+// denseBlockAlign is the alignment of the dense traversal's destination
+// blocks: a multiple of the bitset word size, so every block owns whole
+// words of the output bit vector and can set output bits without atomics.
+const denseBlockAlign = 64
+
+// denseGrain picks the destination-block size for the dense traversals:
+// the automatic load-balancing grain, rounded up to whole bitset words so
+// blocks never share an output word.
+func denseGrain(n int) int {
+	g := parallel.AutoGrain(n)
+	return (g + denseBlockAlign - 1) &^ (denseBlockAlign - 1)
+}
+
 // edgeMapDense is Ligra's edgeMapDense: for every vertex d whose Cond
 // holds, pull over its in-edges looking for frontier sources, stopping
-// early once Cond(d) becomes false. Update need not be atomic because d is
-// processed by exactly one goroutine.
+// early once Cond(d) becomes false (and, under Options.DenseEarlyExit,
+// after the first successful update). Update need not be atomic because d
+// is processed by exactly one goroutine. Destinations are processed in
+// cache-sized blocks aligned to output bitset words, so output bits are
+// set with plain stores — each block's words belong to exactly one worker.
 func edgeMapDense(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
 	n := g.NumVertices()
 	ud := u.ToDense()
@@ -387,48 +499,98 @@ func edgeMapDense(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*Ve
 		update = f.UpdateAtomic
 	}
 	cond := f.Cond
+	earlyExit := opts.DenseEarlyExit
+	// Full frontier (PageRank iterations, components round one): every
+	// source passes the membership test, so skip the per-edge bit probe.
+	full := u.Size() == n
 
 	csr, _ := g.(*graph.Graph)
 	var out *bitset.Bitset
 	if !opts.NoOutput {
 		out = bitset.New(n)
 	}
-	err := parallel.ForCtx(opts.Context, n, func(di int) {
-		d := uint32(di)
-		if cond != nil && !cond(d) {
-			return
-		}
-		if csr != nil {
-			row, wts := csr.InEdgesSlice(d)
-			for j, s := range row {
-				if !ud.Get(int(s)) {
+	var body func(lo, hi int)
+	if csr != nil {
+		// The per-edge loop is the framework's hottest code: the full and
+		// filtered variants are split so neither pays the other's branch,
+		// and membership reads index the frontier words directly.
+		uw := ud.Words()
+		body = func(lo, hi int) {
+			for di := lo; di < hi; di++ {
+				d := uint32(di)
+				if cond != nil && !cond(d) {
 					continue
 				}
-				w := int32(1)
-				if wts != nil {
-					w = wts[j]
+				row, wts := csr.InEdgesSlice(d)
+				hit := false
+				if full {
+					for j, s := range row {
+						w := int32(1)
+						if wts != nil {
+							w = wts[j]
+						}
+						if update(s, d, w) {
+							hit = true
+							if earlyExit {
+								break
+							}
+						}
+						if cond != nil && !cond(d) {
+							break // early exit: d needs no more updates
+						}
+					}
+				} else {
+					for j, s := range row {
+						if uw[s>>6]&(1<<(s&63)) == 0 {
+							continue
+						}
+						w := int32(1)
+						if wts != nil {
+							w = wts[j]
+						}
+						if update(s, d, w) {
+							hit = true
+							if earlyExit {
+								break
+							}
+						}
+						if cond != nil && !cond(d) {
+							break // early exit: d needs no more updates
+						}
+					}
 				}
-				if update(s, d, w) && out != nil {
-					out.SetAtomic(di)
-				}
-				if cond != nil && !cond(d) {
-					return // early exit: d needs no more updates
+				if hit && out != nil {
+					out.Set(di) // this block owns the word
 				}
 			}
-			return
 		}
-		g.InNeighbors(d, func(s uint32, w int32) bool {
-			if ud.Get(int(s)) {
-				if update(s, d, w) && out != nil {
-					out.SetAtomic(di)
-				}
+	} else {
+		body = func(lo, hi int) {
+			for di := lo; di < hi; di++ {
+				d := uint32(di)
 				if cond != nil && !cond(d) {
-					return false // early exit: d needs no more updates
+					continue
 				}
+				g.InNeighbors(d, func(s uint32, w int32) bool {
+					if full || ud.Get(int(s)) {
+						if update(s, d, w) {
+							if out != nil {
+								out.Set(di) // this block owns the word
+							}
+							if earlyExit {
+								return false
+							}
+						}
+						if cond != nil && !cond(d) {
+							return false // early exit: d needs no more updates
+						}
+					}
+					return true
+				})
 			}
-			return true
-		})
-	})
+		}
+	}
+	err := parallel.ForRangeGrainCtx(opts.Context, n, denseGrain(n), body)
 	if err != nil {
 		return nil, err
 	}
@@ -441,7 +603,9 @@ func edgeMapDense(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*Ve
 // edgeMapDenseForward is Ligra's write-based dense variant: loop over all
 // vertices, and for frontier members push over out-edges with atomic
 // updates. It avoids the transpose (useful for graphs stored only forward)
-// at the cost of atomics and no early exit.
+// at the cost of atomics and no early exit. The frontier bit vector is
+// scanned a word at a time, so the 63/64ths of a sparse-ish frontier that
+// is empty words costs one load each instead of 64 bit tests.
 func edgeMapDenseForward(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
 	n := g.NumVertices()
 	ud := u.ToDense()
@@ -456,30 +620,38 @@ func edgeMapDenseForward(g graph.View, u *VertexSubset, f EdgeFuncs, opts Option
 	if !opts.NoOutput {
 		out = bitset.New(n)
 	}
-	err := parallel.ForCtx(opts.Context, n, func(si int) {
-		if !ud.Get(si) {
-			return
-		}
-		s := uint32(si)
-		if csr != nil {
-			row, wts := csr.OutEdgesSlice(s)
-			for j, d := range row {
-				w := int32(1)
-				if wts != nil {
-					w = wts[j]
-				}
-				if (cond == nil || cond(d)) && update(s, d, w) && out != nil {
-					out.SetAtomic(int(d))
-				}
+	words := ud.Words()
+	err := parallel.ForRangeCtx(opts.Context, len(words), func(lo, hi int) {
+		for wi := lo; wi < hi; wi++ {
+			w := words[wi]
+			if w == 0 {
+				continue
 			}
-			return
-		}
-		g.OutNeighbors(s, func(d uint32, w int32) bool {
-			if (cond == nil || cond(d)) && update(s, d, w) && out != nil {
-				out.SetAtomic(int(d))
+			base := uint32(wi * 64)
+			for w != 0 {
+				s := base + uint32(bits.TrailingZeros64(w))
+				w &= w - 1
+				if csr != nil {
+					row, wts := csr.OutEdgesSlice(s)
+					for j, d := range row {
+						ew := int32(1)
+						if wts != nil {
+							ew = wts[j]
+						}
+						if (cond == nil || cond(d)) && update(s, d, ew) && out != nil {
+							out.SetAtomic(int(d))
+						}
+					}
+					continue
+				}
+				g.OutNeighbors(s, func(d uint32, ew int32) bool {
+					if (cond == nil || cond(d)) && update(s, d, ew) && out != nil {
+						out.SetAtomic(int(d))
+					}
+					return true
+				})
 			}
-			return true
-		})
+		}
 	})
 	if err != nil {
 		return nil, err

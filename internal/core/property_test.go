@@ -226,3 +226,143 @@ func TestRemoveDuplicatesScratchReuse(t *testing.T) {
 		}
 	}
 }
+
+// TestEdgeMapThresholdSweepAgrees: the oracle result must be invariant
+// under the switch threshold — whatever mix of sparse and dense rounds a
+// threshold induces, the output subset is the same. Sweeps thresholds from
+// "always dense" (1) through the paper's default to "always sparse" (huge).
+func TestEdgeMapThresholdSweepAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(200)
+		g := randomGraph(t, rng, n, rng.Intn(4*n), rng.Intn(2) == 0)
+		u := randomSubset(rng, n)
+		blocked := make([]bool, n)
+		for v := range blocked {
+			blocked[v] = rng.Intn(5) == 0
+		}
+		cond := func(d uint32) bool { return !blocked[d] }
+		want := applyOracle(g, u, cond)
+
+		thresholds := []int64{1, g.NumEdges() / DefaultThresholdDenominator,
+			int64(1 + rng.Intn(n*4)), int64(1) << 40}
+		for _, th := range thresholds {
+			f := EdgeFuncs{
+				UpdateAtomic: func(_, _ uint32, _ int32) bool { return true },
+				Cond:         cond,
+			}
+			out := EdgeMap(g, u.Clone(), f, Options{Threshold: th, RemoveDuplicates: true})
+			got := append([]uint32(nil), out.ToSparse()...)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			if len(got) != len(want) {
+				t.Fatalf("trial %d threshold %d: got %d vertices, want %d",
+					trial, th, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d threshold %d: output differs at %d", trial, th, i)
+				}
+			}
+		}
+	}
+}
+
+// TestEdgeMapDataModesAgree: EdgeMapData must deliver the same (vertex,
+// payload) set in every mode and across thresholds. The payload is a pure
+// function of the destination so the "arbitrary winner" rule cannot
+// introduce cross-mode differences.
+func TestEdgeMapDataModesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(150)
+		g := randomGraph(t, rng, n, rng.Intn(4*n), rng.Intn(2) == 0)
+		u := randomSubset(rng, n)
+		blocked := make([]bool, n)
+		for v := range blocked {
+			blocked[v] = rng.Intn(6) == 0
+		}
+		cond := func(d uint32) bool { return !blocked[d] }
+		want := applyOracle(g, u, cond)
+
+		payload := func(d uint32) int64 { return int64(d)*3 + 1 }
+		collect := func(opts Options) []Pair[int64] {
+			f := EdgeDataFuncs[int64]{
+				UpdateAtomic: func(_, d uint32, _ int32) (int64, bool) { return payload(d), true },
+				Cond:         cond,
+			}
+			out := EdgeMapData(g, u.Clone(), f, opts)
+			pairs := append([]Pair[int64](nil), out.Pairs()...)
+			sort.Slice(pairs, func(i, j int) bool { return pairs[i].V < pairs[j].V })
+			return pairs
+		}
+
+		for _, tc := range []struct {
+			name string
+			opts Options
+		}{
+			{"sparse", Options{Mode: ForceSparse, RemoveDuplicates: true}},
+			{"dense", Options{Mode: ForceDense}},
+			{"auto-low", Options{Threshold: 1, RemoveDuplicates: true}},
+			{"auto-high", Options{Threshold: 1 << 40, RemoveDuplicates: true}},
+		} {
+			pairs := collect(tc.opts)
+			if len(pairs) != len(want) {
+				t.Fatalf("trial %d %s: got %d pairs, want %d", trial, tc.name, len(pairs), len(want))
+			}
+			for i, p := range pairs {
+				if p.V != want[i] || p.Val != payload(want[i]) {
+					t.Fatalf("trial %d %s: pair %d = (%d, %d), want (%d, %d)",
+						trial, tc.name, i, p.V, p.Val, want[i], payload(want[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestEdgeMapDenseEarlyExit: with a claim-once update (BFS-style CAS) the
+// DenseEarlyExit option must not change the output subset — it only skips
+// in-edges that could not produce a second claim — and every claimed
+// parent must be a frontier member.
+func TestEdgeMapDenseEarlyExitRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(86420))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(200)
+		g := randomGraph(t, rng, n, rng.Intn(4*n), rng.Intn(2) == 0)
+		u := randomSubset(rng, n)
+		inFrontier := make([]bool, n)
+		u.ForEachSeq(func(v uint32) { inFrontier[v] = true })
+
+		claimed := make([]uint32, n)
+		for i := range claimed {
+			claimed[i] = None
+		}
+		cond := func(d uint32) bool { return atomic.LoadUint32(&claimed[d]) == None }
+		want := applyOracle(g, u, cond)
+
+		f := EdgeFuncs{
+			Update: func(s, d uint32, _ int32) bool {
+				return atomic.CompareAndSwapUint32(&claimed[d], None, s)
+			},
+			UpdateAtomic: func(s, d uint32, _ int32) bool {
+				return atomic.CompareAndSwapUint32(&claimed[d], None, s)
+			},
+			Cond: cond,
+		}
+		out := EdgeMap(g, u.Clone(), f, Options{Mode: ForceDense, DenseEarlyExit: true})
+		got := append([]uint32(nil), out.ToSparse()...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d vertices, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: output differs at index %d: %d vs %d", trial, i, got[i], want[i])
+			}
+		}
+		for _, d := range got {
+			if s := claimed[d]; s == None || !inFrontier[s] {
+				t.Fatalf("trial %d: vertex %d claimed by non-frontier parent %d", trial, d, s)
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ package core
 
 import (
 	"context"
+	"math/bits"
 
 	"ligra/internal/bitset"
 	"ligra/internal/parallel"
@@ -67,11 +68,7 @@ func NewDense(n int, bits *bitset.Bitset) *VertexSubset {
 // NewAll returns the subset containing every vertex in [0, n).
 func NewAll(n int) *VertexSubset {
 	b := bitset.New(n)
-	parallel.ForRange(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			b.Set(i)
-		}
-	})
+	b.SetAll()
 	return &VertexSubset{n: n, size: n, dense: b}
 }
 
@@ -103,19 +100,45 @@ func (vs *VertexSubset) HasSparse() bool { return vs.sparse != nil }
 // HasDense reports whether the dense representation is materialized.
 func (vs *VertexSubset) HasDense() bool { return vs.dense != nil }
 
-// ToSparse materializes (and caches) the sparse ID array. The returned
-// slice must not be mutated.
+// ToSparse materializes (and caches) the sparse ID array, in increasing
+// vertex order. The returned slice must not be mutated.
 func (vs *VertexSubset) ToSparse() []uint32 {
 	if vs.sparse == nil {
-		ids := parallel.PackIndex[uint32](vs.n, func(i int) bool {
-			return vs.dense.Get(i)
-		})
-		if ids == nil {
-			ids = []uint32{}
-		}
-		vs.sparse = ids
+		vs.sparse = packBits(vs.dense)
 	}
 	return vs.sparse
+}
+
+// packBits converts a dense bit vector to its sorted ID array one word at
+// a time: an exclusive scan over per-word popcounts sizes the output to
+// exactly the member count (no full-universe allocation for tiny
+// frontiers), then every word decodes its set bits into its own slot
+// range independently.
+func packBits(b *bitset.Bitset) []uint32 {
+	words := b.Words()
+	offsets, total := parallel.ScanFunc(len(words), func(wi int) int64 {
+		return int64(bits.OnesCount64(words[wi]))
+	})
+	if total == 0 {
+		return []uint32{}
+	}
+	out := make([]uint32, total)
+	parallel.ForRange(len(words), func(lo, hi int) {
+		for wi := lo; wi < hi; wi++ {
+			w := words[wi]
+			if w == 0 {
+				continue
+			}
+			k := offsets[wi]
+			base := uint32(wi * 64)
+			for w != 0 {
+				out[k] = base + uint32(bits.TrailingZeros64(w))
+				k++
+				w &= w - 1
+			}
+		}
+	})
+	return out
 }
 
 // ToDense materializes (and caches) the dense bit vector. The returned
@@ -145,18 +168,12 @@ func (vs *VertexSubset) Contains(v uint32) bool {
 	return false
 }
 
-// ForEach calls fn for every member vertex, in parallel.
+// ForEach calls fn for every member vertex, in parallel. Dense subsets
+// are walked a word at a time, skipping empty words entirely.
 func (vs *VertexSubset) ForEach(fn func(v uint32)) {
-	if vs.sparse != nil {
-		ids := vs.sparse
-		parallel.For(len(ids), func(i int) { fn(ids[i]) })
-		return
+	if err := vs.ForEachCtx(nil, fn); err != nil {
+		panic(err)
 	}
-	parallel.For(vs.n, func(i int) {
-		if vs.dense.Get(i) {
-			fn(uint32(i))
-		}
-	})
 }
 
 // ForEachCtx is ForEach with cooperative cancellation: ctx (nil =
@@ -167,9 +184,15 @@ func (vs *VertexSubset) ForEachCtx(ctx context.Context, fn func(v uint32)) error
 		ids := vs.sparse
 		return parallel.ForCtx(ctx, len(ids), func(i int) { fn(ids[i]) })
 	}
-	return parallel.ForCtx(ctx, vs.n, func(i int) {
-		if vs.dense.Get(i) {
-			fn(uint32(i))
+	words := vs.dense.Words()
+	return parallel.ForRangeCtx(ctx, len(words), func(lo, hi int) {
+		for wi := lo; wi < hi; wi++ {
+			w := words[wi]
+			base := uint32(wi * 64)
+			for w != 0 {
+				fn(base + uint32(bits.TrailingZeros64(w)))
+				w &= w - 1
+			}
 		}
 	})
 }

@@ -152,7 +152,10 @@ func forSeq(ctx context.Context, n, grain, chunks int, body func(lo, hi int)) (e
 		}
 		body(lo, hi)
 	}
-	return nil
+	// Match the parallel path, which reports ctx.Err() after the workers
+	// drain: a cancellation raised inside the final (or only) chunk is
+	// still surfaced.
+	return ctxErr(ctx)
 }
 
 // DoCtx is the context-aware Do: thunks observed after cancellation are

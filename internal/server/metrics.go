@@ -4,6 +4,8 @@ import (
 	"expvar"
 	"sync"
 	"time"
+
+	"ligra/internal/core"
 )
 
 // Metrics is the server's counter set, built from expvar's atomic types
@@ -77,6 +79,10 @@ type Snapshot struct {
 	Algos         map[string]AlgoSnapshot `json:"algos"`
 	Graphs        []GraphInfo             `json:"graphs"`
 	GraphBytes    int64                   `json:"graph_bytes_total"`
+	// Traversal is the process-wide edgeMap counter set (calls, the
+	// sparse/dense decision split, frontier sizes, edges weighed), so the
+	// direction-optimization behaviour of served queries is observable.
+	Traversal core.StatsSnapshot `json:"traversal"`
 }
 
 // Snapshot captures every counter plus the registry's per-graph memory
@@ -106,5 +112,6 @@ func (m *Metrics) Snapshot(reg *Registry) Snapshot {
 			s.GraphBytes += info.MemoryBytes
 		}
 	}
+	s.Traversal = core.SnapshotStats()
 	return s
 }

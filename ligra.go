@@ -129,6 +129,21 @@ func NewFromFunc(n int, pred func(v uint32) bool) *VertexSubset {
 	return core.NewFromFunc(n, pred)
 }
 
+// TraversalStats is a point-in-time copy of the process-wide traversal
+// counters: EdgeMap calls, the sparse / dense / dense-forward decision
+// split, frontier and output sizes, and the edge volume weighed by the
+// direction heuristic. See SnapshotTraversalStats.
+type TraversalStats = core.StatsSnapshot
+
+// SnapshotTraversalStats returns the current process-wide traversal
+// counters. Counters accumulate across every EdgeMap / EdgeMapData call in
+// the process; to attribute activity to one region, snapshot before and
+// after and use TraversalStats.Sub. Safe for concurrent use.
+func SnapshotTraversalStats() TraversalStats { return core.SnapshotStats() }
+
+// ResetTraversalStats zeroes the process-wide traversal counters.
+func ResetTraversalStats() { core.ResetStats() }
+
 // Pair is one (vertex, payload) member of a data-carrying frontier.
 type Pair[T any] = core.Pair[T]
 
