@@ -106,23 +106,14 @@ func run(args []string, stdout io.Writer) error {
 		view = c
 	}
 
-	opts := ligra.Options{Threshold: *threshold}
-	switch *mode {
-	case "auto":
-	case "sparse":
-		opts.Mode = ligra.ForceSparse
-	case "dense":
-		opts.Mode = ligra.ForceDense
-	case "dense-forward":
-		opts.Mode = ligra.ForceDense
-		opts.DenseForward = true
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+	params := algo.Params{Mode: *mode, Threshold: *threshold}
+	if err := params.Validate(); err != nil {
+		return err
 	}
 	var tr *ligra.Trace
 	if *trace || *stats {
 		tr = &ligra.Trace{}
-		opts.Trace = tr
+		params.EdgeMap.Trace = tr
 	}
 
 	src := uint32(0)
@@ -145,7 +136,7 @@ func run(args []string, stdout io.Writer) error {
 		defer cancel()
 		ctx = c
 	}
-	params := algo.RunParams{Source: src, EdgeMap: opts}
+	params.Source = src
 	statsBefore := ligra.SnapshotTraversalStats()
 	var best time.Duration
 	var res algo.RunResult

@@ -97,6 +97,8 @@ func run(args []string) error {
 		defaultTimeout = fs.Duration("default-timeout", 30*time.Second, "deadline for queries that set no timeout_ms (0 = unbounded)")
 		maxTimeout     = fs.Duration("max-timeout", 60*time.Second, "upper bound on client-requested timeout_ms")
 		drainTimeout   = fs.Duration("drain-timeout", 15*time.Second, "how long SIGTERM waits for in-flight queries before cancelling them")
+		cacheMB        = fs.Int64("cache-mb", 64, "query result cache budget in MiB (0 = caching off; coalescing stays on)")
+		maxQueryProcs  = fs.Int("max-query-procs", 0, "worker goroutines one query may use (0 = GOMAXPROCS); concurrent queries share the CPU-slot pool")
 		logJSON        = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	fs.Var(&preloads, "preload", "load a graph at startup: name=path[,symmetric] (repeatable)")
@@ -115,6 +117,8 @@ func run(args []string) error {
 		QueueWait:      *queueWait,
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
+		CacheBytes:     *cacheMB << 20,
+		MaxQueryProcs:  *maxQueryProcs,
 		Logger:         logger,
 	})
 	for _, p := range preloads {

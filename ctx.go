@@ -30,11 +30,27 @@ type (
 	RoundError = algo.RoundError
 )
 
-// EdgeMapCtx is EdgeMap with cooperative cancellation (the context rides
-// in opts.Context); it returns a nil frontier and an error if the
-// traversal was interrupted or a worker panicked.
-func EdgeMapCtx(g View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
-	return core.EdgeMapCtx(g, u, f, opts)
+// EdgeMapCtx is EdgeMap with cooperative cancellation; it returns a nil
+// frontier and an error if the traversal was interrupted or a worker
+// panicked. A nil ctx falls back to opts.Context (the explicit argument
+// wins when both are set).
+func EdgeMapCtx(ctx context.Context, g View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
+	return core.EdgeMapCtx(ctx, g, u, f, opts)
+}
+
+// EdgeMapDataCtx is EdgeMapData with cooperative cancellation, following
+// the same ctx-precedence contract as EdgeMapCtx.
+func EdgeMapDataCtx[T any](ctx context.Context, g View, u *VertexSubset, f EdgeDataFuncs[T], opts Options) (*DataSubset[T], error) {
+	return core.EdgeMapDataCtx(ctx, g, u, f, opts)
+}
+
+// WithParallelism returns a context that caps the worker goroutines used
+// by every *Ctx entry point run under it at p — a per-call alternative to
+// the process-wide SetParallelism, letting concurrent computations share
+// one machine with different worker budgets. The effective count is
+// min(p, SetParallelism's setting, GOMAXPROCS).
+func WithParallelism(ctx context.Context, p int) context.Context {
+	return parallel.WithProcs(ctx, p)
 }
 
 // VertexMapCtx is VertexMap with cooperative cancellation.

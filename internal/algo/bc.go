@@ -84,7 +84,6 @@ func BCCtx(ctx context.Context, g graph.View, source uint32, opts core.Options) 
 		Cond: func(d uint32) bool { return visited[d] == 0 },
 	}
 
-	opts = withCtx(opts, ctx)
 	delta := atomicx.NewFloat64Slice(n)
 	result := func() *BCResult {
 		return &BCResult{
@@ -99,7 +98,7 @@ func BCCtx(ctx context.Context, g graph.View, source uint32, opts core.Options) 
 	frontier := frontiers[0]
 	for !frontier.IsEmpty() {
 		atomic.AddInt32(&round, 1)
-		next, err := core.EdgeMapCtx(g, frontier, fwd, opts)
+		next, err := core.EdgeMapCtx(ctx, g, frontier, fwd, opts)
 		if err != nil {
 			return result(), roundErr("bc", int(roundLoad(&round))-1, err)
 		}
@@ -140,7 +139,7 @@ func BCCtx(ctx context.Context, g graph.View, source uint32, opts core.Options) 
 	bwdOpts.NoOutput = true
 	for i := len(frontiers) - 1; i >= 1; i-- {
 		atomic.StoreInt32(&backRound, int32(i))
-		if _, err := core.EdgeMapCtx(gT, frontiers[i], bwd, bwdOpts); err != nil {
+		if _, err := core.EdgeMapCtx(ctx, gT, frontiers[i], bwd, bwdOpts); err != nil {
 			return result(), roundErr("bc-backward", i, err)
 		}
 	}

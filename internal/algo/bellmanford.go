@@ -66,14 +66,13 @@ func BellmanFordCtx(ctx context.Context, g graph.View, source uint32, opts core.
 	}
 	funcs := core.EdgeFuncs{Update: update, UpdateAtomic: update}
 
-	opts = withCtx(opts, ctx)
 	frontier := core.NewSingle(n, source)
 	rounds := 0
 	for !frontier.IsEmpty() {
 		if rounds >= n {
 			return &SSSPResult{Dist: dist, Rounds: rounds, NegativeCycle: true}, nil
 		}
-		next, err := core.EdgeMapCtx(g, frontier, funcs, opts)
+		next, err := core.EdgeMapCtx(ctx, g, frontier, funcs, opts)
 		if err != nil {
 			return &SSSPResult{Dist: dist, Rounds: rounds},
 				roundErr("bellman-ford", rounds, err)

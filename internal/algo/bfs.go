@@ -71,12 +71,11 @@ func BFSCtx(ctx context.Context, g graph.View, source uint32, opts core.Options)
 	// in-edges after the first successful claim.
 	opts.DenseEarlyExit = true
 
-	opts = withCtx(opts, ctx)
 	frontier := core.NewSingle(n, source)
 	visited := 1
 	rounds := 0
 	for !frontier.IsEmpty() {
-		next, err := core.EdgeMapCtx(g, frontier, funcs, opts)
+		next, err := core.EdgeMapCtx(ctx, g, frontier, funcs, opts)
 		if err != nil {
 			return &BFSResult{Parents: parents, Rounds: rounds, Visited: visited},
 				roundErr("bfs", rounds, err)
@@ -127,11 +126,10 @@ func BFSLevelsCtx(ctx context.Context, g graph.View, source uint32, opts core.Op
 	}
 	// Same claim-once structure as BFS: dense rounds may early-exit.
 	opts.DenseEarlyExit = true
-	opts = withCtx(opts, ctx)
 	frontier := core.NewSingle(n, source)
 	for !frontier.IsEmpty() {
 		round++
-		next, err := core.EdgeMapCtx(g, frontier, funcs, opts)
+		next, err := core.EdgeMapCtx(ctx, g, frontier, funcs, opts)
 		if err != nil {
 			return levels, roundErr("bfs-levels", int(round-1), err)
 		}

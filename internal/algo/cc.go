@@ -70,7 +70,6 @@ func ConnectedComponentsCtx(ctx context.Context, g graph.View, opts core.Options
 	// so sparse rounds may emit duplicates.
 	opts.RemoveDuplicates = true
 
-	opts = withCtx(opts, ctx)
 	frontier := core.NewAll(n)
 	rounds := 0
 	finish := func(err error) (*CCResult, error) {
@@ -83,7 +82,7 @@ func ConnectedComponentsCtx(ctx context.Context, g graph.View, opts core.Options
 		if err := core.VertexMapCtx(ctx, frontier, func(v uint32) { prev[v] = ids[v] }); err != nil {
 			return finish(err)
 		}
-		next, err := core.EdgeMapCtx(g, frontier, funcs, opts)
+		next, err := core.EdgeMapCtx(ctx, g, frontier, funcs, opts)
 		if err != nil {
 			return finish(err)
 		}

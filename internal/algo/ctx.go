@@ -3,8 +3,6 @@ package algo
 import (
 	"context"
 	"fmt"
-
-	"ligra/internal/core"
 )
 
 // RoundError is the error returned by the algorithms' Ctx entry points
@@ -48,10 +46,4 @@ func ctxErr(ctx context.Context) error {
 		return nil
 	}
 	return ctx.Err()
-}
-
-// withCtx returns opts with the EdgeMap context installed.
-func withCtx(opts core.Options, ctx context.Context) core.Options {
-	opts.Context = ctx
-	return opts
 }

@@ -132,7 +132,6 @@ func DeltaSteppingCtx(ctx context.Context, g graph.View, source uint32, delta in
 		core.VertexMap(out, func(v uint32) { visited[v] = 0 })
 	}
 
-	opts = withCtx(opts, ctx)
 	nBuckets, phases := 0, 0
 	partial := func(err error) (*DeltaSteppingResult, error) {
 		return &DeltaSteppingResult{Dist: dist, Buckets: nBuckets, Phases: phases},
@@ -156,7 +155,7 @@ func DeltaSteppingCtx(ctx context.Context, g graph.View, source uint32, delta in
 		}
 		for len(cur) > 0 {
 			frontier := core.NewSparse(n, cur)
-			out, err := core.EdgeMapCtx(g, frontier, lightFuncs, opts)
+			out, err := core.EdgeMapCtx(ctx, g, frontier, lightFuncs, opts)
 			if err != nil {
 				return partial(err)
 			}
@@ -182,7 +181,7 @@ func DeltaSteppingCtx(ctx context.Context, g graph.View, source uint32, delta in
 		// One heavy-edge pass from everything settled in this bucket;
 		// heavy targets land strictly beyond bucket k.
 		frontier := core.NewSparse(n, settled)
-		out, err := core.EdgeMapCtx(g, frontier, heavyFuncs, opts)
+		out, err := core.EdgeMapCtx(ctx, g, frontier, heavyFuncs, opts)
 		if err != nil {
 			return partial(err)
 		}

@@ -47,7 +47,6 @@ func KCoreCtx(ctx context.Context, g graph.View, opts core.Options) (*KCoreResul
 	deg := make([]int32, n)
 	parallel.For(n, func(i int) { deg[i] = int32(g.OutDegree(uint32(i))) })
 
-	opts = withCtx(opts, ctx)
 	alive := n
 	rounds := 0
 	partial := func(err error) (*KCoreResult, error) {
@@ -84,7 +83,7 @@ func KCoreCtx(ctx context.Context, g graph.View, opts core.Options) (*KCoreResul
 		for !peel.IsEmpty() {
 			core.VertexMap(peel, func(v uint32) { coreness[v] = k - 1 })
 			alive -= peel.Size()
-			next, err := core.EdgeMapCtx(g, peel, funcs, opts)
+			next, err := core.EdgeMapCtx(ctx, g, peel, funcs, opts)
 			if err != nil {
 				return partial(err)
 			}
@@ -127,7 +126,6 @@ func KCoreJulienneCtx(ctx context.Context, g graph.View, opts core.Options) (*KC
 	// Touched neighbors join the output frontier once per peel round;
 	// duplicates are possible (several peeled neighbors), so dedup.
 	opts.RemoveDuplicates = true
-	opts = withCtx(opts, ctx)
 	var k int64
 	funcs := core.EdgeFuncs{
 		UpdateAtomic: func(_, d uint32, _ int32) bool {
@@ -159,7 +157,7 @@ func KCoreJulienneCtx(ctx context.Context, g graph.View, opts core.Options) (*KC
 			maxCore = int32(k)
 		}
 		frontier := core.NewSparse(n, members)
-		out, err := core.EdgeMapCtx(g, frontier, funcs, opts)
+		out, err := core.EdgeMapCtx(ctx, g, frontier, funcs, opts)
 		if err != nil {
 			return &KCoreResult{Coreness: coreness, MaxCore: maxCore, Rounds: rounds},
 				roundErr("kcore-julienne", rounds, err)

@@ -54,7 +54,6 @@ func MISCtx(ctx context.Context, g graph.View, seed uint64, opts core.Options) (
 		return pri[a] > pri[b] || (pri[a] == pri[b] && a > b)
 	}
 
-	opts = withCtx(opts, ctx)
 	undecided := core.NewAll(n)
 	rounds := 0
 	partial := func(err error) (*MISResult, error) {
@@ -92,7 +91,7 @@ func MISCtx(ctx context.Context, g graph.View, seed uint64, opts core.Options) (
 		}
 		emOpts := opts
 		emOpts.NoOutput = true
-		if _, err := core.EdgeMapCtx(g, roots, funcs, emOpts); err != nil {
+		if _, err := core.EdgeMapCtx(ctx, g, roots, funcs, emOpts); err != nil {
 			return partial(err)
 		}
 		// Remaining undecided vertices.

@@ -89,7 +89,7 @@ func PageRankCtx(ctx context.Context, g graph.View, opts PageRankOptions) (*Page
 			return true
 		},
 	}
-	emOpts := withCtx(opts.EdgeMap, ctx)
+	emOpts := opts.EdgeMap
 	emOpts.NoOutput = true
 
 	iters := 0
@@ -124,7 +124,7 @@ func PageRankCtx(ctx context.Context, g graph.View, opts PageRankOptions) (*Page
 			nghSum.StoreNonAtomic(i, 0)
 		})
 
-		if _, err := core.EdgeMapCtx(g, all, funcs, emOpts); err != nil {
+		if _, err := core.EdgeMapCtx(ctx, g, all, funcs, emOpts); err != nil {
 			// p has not been touched this round: the ranks are exactly
 			// those of the last completed iteration.
 			return partial(err)
@@ -190,7 +190,7 @@ func PageRankDeltaCtx(ctx context.Context, g graph.View, opts PageRankOptions, d
 			return true
 		},
 	}
-	emOpts := withCtx(opts.EdgeMap, ctx)
+	emOpts := opts.EdgeMap
 	emOpts.NoOutput = true
 
 	frontier := core.NewAll(n)
@@ -219,7 +219,7 @@ func PageRankDeltaCtx(ctx context.Context, g graph.View, opts PageRankOptions, d
 		})
 		parallel.For(n, func(i int) { nghSum.StoreNonAtomic(i, 0) })
 
-		if _, err := core.EdgeMapCtx(g, frontier, funcs, emOpts); err != nil {
+		if _, err := core.EdgeMapCtx(ctx, g, frontier, funcs, emOpts); err != nil {
 			return partial(err)
 		}
 

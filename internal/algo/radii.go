@@ -161,12 +161,11 @@ func radiiBatch(ctx context.Context, g graph.View, sources []uint32, emOpts core
 	}
 	funcs := core.EdgeFuncs{Update: update, UpdateAtomic: update}
 
-	emOpts = withCtx(emOpts, ctx)
 	frontier := core.NewSparse(n, append([]uint32(nil), sources...))
 	rounds := 0
 	for !frontier.IsEmpty() {
 		atomic.AddInt32(&round, 1)
-		next, err := core.EdgeMapCtx(g, frontier, funcs, emOpts)
+		next, err := core.EdgeMapCtx(ctx, g, frontier, funcs, emOpts)
 		if err != nil {
 			return radii, rounds, err
 		}

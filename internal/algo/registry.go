@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"ligra/internal/core"
 	"ligra/internal/graph"
@@ -14,37 +15,101 @@ import (
 // the two binaries cannot drift on which algorithms exist, what parameters
 // they take, or how their results are summarized.
 
-// RunParams carries the per-run knobs a caller may set. Zero values select
-// each algorithm's documented default (the same defaults ligra-run has
-// always used), so a caller only fills in what it cares about.
-type RunParams struct {
+// Params is the single typed parameter set for algorithm invocation,
+// shared by ligra-run's flag parsing, ligra-serve's query handlers, and
+// the server's result-cache keys. The JSON tags define the wire format of
+// a server query request; Canonical renders the same fields as a stable
+// string for cache keying. Zero values select each algorithm's documented
+// default (the same defaults ligra-run has always used), so a caller only
+// fills in what it cares about.
+type Params struct {
 	// Source is the start vertex for traversal algorithms; callers are
 	// expected to have validated it against the graph.
-	Source uint32
+	Source uint32 `json:"source,omitempty"`
 	// Seed drives the randomized algorithms; 0 selects the per-algorithm
 	// default.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// K is the sample budget for multi-source estimators (bc-approx,
 	// eccentricity); 0 selects the per-algorithm default.
-	K int
+	K int `json:"k,omitempty"`
 	// Delta is the delta-stepping bucket width; 0 lets the algorithm pick.
-	Delta int64
+	Delta int64 `json:"delta,omitempty"`
 	// Alpha and Eps parameterize local clustering; 0 selects the defaults
 	// (0.15 and 1e-6).
-	Alpha, Eps float64
-	// EdgeMap tunes every EdgeMap call of the run (mode, threshold,
-	// tracing). The cancellation context is passed to Run separately.
-	EdgeMap core.Options
+	Alpha float64 `json:"alpha,omitempty"`
+	Eps   float64 `json:"eps,omitempty"`
+	// Mode forces an edgeMap traversal strategy for every round of the
+	// run: "" or "auto" (the degree heuristic), "sparse", "dense", or
+	// "dense-forward".
+	Mode string `json:"mode,omitempty"`
+	// Threshold overrides the edgeMap dense-switch threshold (0 = |E|/20).
+	Threshold int64 `json:"threshold,omitempty"`
+
+	// EdgeMap carries the non-serializable per-run extras (tracing, a
+	// fallback context, a per-call proc cap) that EdgeMapOptions merges
+	// under Mode and Threshold. It is excluded from the wire format and
+	// from Canonical, so it never influences cache identity.
+	EdgeMap core.Options `json:"-"`
 }
 
-func (p RunParams) seed(def uint64) uint64 {
+// Validate rejects parameter combinations the registry cannot interpret
+// (currently just an unknown Mode). It is shared by ligra-run's flag
+// parsing and the server's request decoding so both report identical
+// errors.
+func (p Params) Validate() error {
+	switch p.Mode {
+	case "", "auto", "sparse", "dense", "dense-forward":
+		return nil
+	default:
+		return fmt.Errorf("unknown mode %q (have auto | sparse | dense | dense-forward)", p.Mode)
+	}
+}
+
+// Canonical renders the serializable parameters as a stable, normalized
+// string: equal strings mean the run is deterministic-equivalent, which is
+// what the server's result cache keys on. The non-serializable EdgeMap
+// extras are deliberately excluded.
+func (p Params) Canonical() string {
+	mode := p.Mode
+	if mode == "" {
+		mode = "auto"
+	}
+	return fmt.Sprintf("source=%d seed=%d k=%d delta=%d alpha=%s eps=%s mode=%s threshold=%d",
+		p.Source, p.Seed, p.K, p.Delta,
+		strconv.FormatFloat(p.Alpha, 'g', -1, 64),
+		strconv.FormatFloat(p.Eps, 'g', -1, 64),
+		mode, p.Threshold)
+}
+
+// EdgeMapOptions resolves Mode and Threshold on top of the EdgeMap extras,
+// yielding the core.Options every edgeMap round of the run uses. An
+// unrecognized Mode (callers are expected to Validate first) behaves as
+// "auto".
+func (p Params) EdgeMapOptions() core.Options {
+	o := p.EdgeMap
+	if p.Threshold != 0 {
+		o.Threshold = p.Threshold
+	}
+	switch p.Mode {
+	case "sparse":
+		o.Mode = core.ForceSparse
+	case "dense":
+		o.Mode = core.ForceDense
+	case "dense-forward":
+		o.Mode = core.ForceDense
+		o.DenseForward = true
+	}
+	return o
+}
+
+func (p Params) seed(def uint64) uint64 {
 	if p.Seed == 0 {
 		return def
 	}
 	return p.Seed
 }
 
-func (p RunParams) k(def int) int {
+func (p Params) k(def int) int {
 	if p.K <= 0 {
 		return def
 	}
@@ -65,7 +130,7 @@ type Runner struct {
 	// Name is the identifier used by -algo and the server's "algo" field.
 	Name string
 	// NeedsSource reports whether the algorithm starts from a source
-	// vertex (RunParams.Source is meaningful).
+	// vertex (Params.Source is meaningful).
 	NeedsSource bool
 	// NeedsWeights reports whether the algorithm interprets edge weights
 	// (runs on unweighted graphs treat every weight as 1).
@@ -76,7 +141,7 @@ type Runner struct {
 	// algorithms ignore ctx and run to completion.
 	Cancellable bool
 	// Run executes the algorithm. A nil ctx means no deadline.
-	Run func(ctx context.Context, g graph.View, p RunParams) (RunResult, error)
+	Run func(ctx context.Context, g graph.View, p Params) (RunResult, error)
 }
 
 // Runners returns the dispatch table in presentation order.
@@ -113,8 +178,8 @@ func UnknownAlgoError(name string) error {
 var runners = []Runner{
 	{
 		Name: "bfs", NeedsSource: true, Cancellable: true,
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
-			res, err := BFSCtx(ctx, g, p.Source, p.EdgeMap)
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			res, err := BFSCtx(ctx, g, p.Source, p.EdgeMapOptions())
 			return RunResult{
 				Summary: fmt.Sprintf("BFS from %d: visited %d vertices in %d rounds", p.Source, res.Visited, res.Rounds),
 				Details: map[string]any{"source": p.Source, "visited": res.Visited, "rounds": res.Rounds},
@@ -123,8 +188,8 @@ var runners = []Runner{
 	},
 	{
 		Name: "bc", NeedsSource: true, Cancellable: true,
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
-			res, err := BCCtx(ctx, g, p.Source, p.EdgeMap)
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			res, err := BCCtx(ctx, g, p.Source, p.EdgeMapOptions())
 			maxV, maxS := maxScore(res.Scores)
 			return RunResult{
 				Summary: fmt.Sprintf("BC from %d: %d forward rounds; max dependency %.2f at vertex %d",
@@ -135,8 +200,8 @@ var runners = []Runner{
 	},
 	{
 		Name: "bc-approx", Cancellable: true,
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
-			res, err := BCApproxCtx(ctx, g, p.k(16), p.seed(1), p.EdgeMap)
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			res, err := BCApproxCtx(ctx, g, p.k(16), p.seed(1), p.EdgeMapOptions())
 			maxV, maxS := maxScore(res.Scores)
 			return RunResult{
 				Summary: fmt.Sprintf("BC-approx (%d sources): max centrality %.1f at vertex %d",
@@ -147,9 +212,9 @@ var runners = []Runner{
 	},
 	{
 		Name: "radii", Cancellable: true,
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
 			o := DefaultRadiiOptions()
-			o.EdgeMap = p.EdgeMap
+			o.EdgeMap = p.EdgeMapOptions()
 			if p.K > 0 {
 				o.K = p.K
 			}
@@ -172,8 +237,8 @@ var runners = []Runner{
 	},
 	{
 		Name: "components", Cancellable: true,
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
-			res, err := ConnectedComponentsCtx(ctx, g, p.EdgeMap)
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			res, err := ConnectedComponentsCtx(ctx, g, p.EdgeMapOptions())
 			return RunResult{
 				Summary: fmt.Sprintf("Components: %d components in %d rounds", res.Components, res.Rounds),
 				Details: map[string]any{"components": res.Components, "rounds": res.Rounds},
@@ -182,9 +247,9 @@ var runners = []Runner{
 	},
 	{
 		Name: "pagerank", Cancellable: true,
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
 			o := DefaultPageRankOptions()
-			o.EdgeMap = p.EdgeMap
+			o.EdgeMap = p.EdgeMapOptions()
 			res, err := PageRankCtx(ctx, g, o)
 			return RunResult{
 				Summary: fmt.Sprintf("PageRank: %d iterations, final L1 change %.3g", res.Iterations, res.Err),
@@ -194,9 +259,9 @@ var runners = []Runner{
 	},
 	{
 		Name: "pagerank-delta", Cancellable: true,
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
 			o := DefaultPageRankOptions()
-			o.EdgeMap = p.EdgeMap
+			o.EdgeMap = p.EdgeMapOptions()
 			res, err := PageRankDeltaCtx(ctx, g, o, 1e-3)
 			return RunResult{
 				Summary: fmt.Sprintf("PageRank-Delta: %d iterations, final L1 change %.3g", res.Iterations, res.Err),
@@ -206,8 +271,8 @@ var runners = []Runner{
 	},
 	{
 		Name: "bellman-ford", NeedsSource: true, NeedsWeights: true, Cancellable: true,
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
-			res, err := BellmanFordCtx(ctx, g, p.Source, p.EdgeMap)
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			res, err := BellmanFordCtx(ctx, g, p.Source, p.EdgeMapOptions())
 			if res.NegativeCycle {
 				return RunResult{
 					Summary: "Bellman-Ford: negative cycle detected",
@@ -223,8 +288,8 @@ var runners = []Runner{
 	},
 	{
 		Name: "delta-stepping", NeedsSource: true, NeedsWeights: true, Cancellable: true,
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
-			res, err := DeltaSteppingCtx(ctx, g, p.Source, p.Delta, p.EdgeMap)
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			res, err := DeltaSteppingCtx(ctx, g, p.Source, p.Delta, p.EdgeMapOptions())
 			if res == nil {
 				return RunResult{}, err
 			}
@@ -238,8 +303,8 @@ var runners = []Runner{
 	},
 	{
 		Name: "kcore", Cancellable: true,
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
-			res, err := KCoreCtx(ctx, g, p.EdgeMap)
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			res, err := KCoreCtx(ctx, g, p.EdgeMapOptions())
 			return RunResult{
 				Summary: fmt.Sprintf("KCore: degeneracy %d in %d peeling rounds", res.MaxCore, res.Rounds),
 				Details: map[string]any{"degeneracy": res.MaxCore, "rounds": res.Rounds},
@@ -248,8 +313,8 @@ var runners = []Runner{
 	},
 	{
 		Name: "mis", Cancellable: true,
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
-			res, err := MISCtx(ctx, g, p.seed(123), p.EdgeMap)
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			res, err := MISCtx(ctx, g, p.seed(123), p.EdgeMapOptions())
 			size := 0
 			for _, in := range res.InSet {
 				if in {
@@ -264,8 +329,8 @@ var runners = []Runner{
 	},
 	{
 		Name: "scc", Cancellable: true,
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
-			res, err := SCCCtx(ctx, g, p.EdgeMap)
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			res, err := SCCCtx(ctx, g, p.EdgeMapOptions())
 			return RunResult{
 				Summary: fmt.Sprintf("SCC: %d strongly connected components", res.Components),
 				Details: map[string]any{"components": res.Components},
@@ -274,8 +339,8 @@ var runners = []Runner{
 	},
 	{
 		Name: "coloring",
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
-			res := Coloring(g, p.seed(7), p.EdgeMap)
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			res := Coloring(g, p.seed(7), p.EdgeMapOptions())
 			return RunResult{
 				Summary: fmt.Sprintf("Coloring: %d colors in %d rounds", res.NumColors, res.Rounds),
 				Details: map[string]any{"colors": res.NumColors, "rounds": res.Rounds},
@@ -284,7 +349,7 @@ var runners = []Runner{
 	},
 	{
 		Name: "matching",
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
 			res := MaximalMatching(g, p.seed(7))
 			return RunResult{
 				Summary: fmt.Sprintf("Matching: %d edges in %d rounds", res.Size, res.Rounds),
@@ -294,8 +359,8 @@ var runners = []Runner{
 	},
 	{
 		Name: "cc-ldd",
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
-			res := ConnectedComponentsLDD(g, 0.2, p.seed(7), p.EdgeMap)
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			res := ConnectedComponentsLDD(g, 0.2, p.seed(7), p.EdgeMapOptions())
 			return RunResult{
 				Summary: fmt.Sprintf("Components (LDD contraction): %d components", res.Components),
 				Details: map[string]any{"components": res.Components},
@@ -304,8 +369,8 @@ var runners = []Runner{
 	},
 	{
 		Name: "eccentricity", Cancellable: true,
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
-			res, err := TwoPassEccentricityCtx(ctx, g, p.k(64), p.seed(7), p.EdgeMap)
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			res, err := TwoPassEccentricityCtx(ctx, g, p.k(64), p.seed(7), p.EdgeMapOptions())
 			return RunResult{
 				Summary: fmt.Sprintf("Two-pass eccentricity: diameter >= %d (%d rounds)",
 					res.DiameterLowerBound, res.Rounds),
@@ -315,8 +380,8 @@ var runners = []Runner{
 	},
 	{
 		Name: "densest",
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
-			res := DensestSubgraph(g, p.EdgeMap)
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			res := DensestSubgraph(g, p.EdgeMapOptions())
 			return RunResult{
 				Summary: fmt.Sprintf("Densest subgraph: %d vertices, density %.3f (%d peels)",
 					len(res.Vertices), res.Density, res.Peels),
@@ -326,7 +391,7 @@ var runners = []Runner{
 	},
 	{
 		Name: "local-cluster", NeedsSource: true,
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
 			alpha, eps := p.Alpha, p.Eps
 			if alpha == 0 {
 				alpha = 0.15
@@ -347,7 +412,7 @@ var runners = []Runner{
 	},
 	{
 		Name: "triangles",
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
 			count := TriangleCount(g)
 			return RunResult{
 				Summary: fmt.Sprintf("Triangles: %d", count),
@@ -357,7 +422,7 @@ var runners = []Runner{
 	},
 	{
 		Name: "clustering",
-		Run: func(ctx context.Context, g graph.View, p RunParams) (RunResult, error) {
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
 			lcc := LocalClusteringCoefficients(g)
 			var sum float64
 			for _, c := range lcc {

@@ -23,7 +23,7 @@ func TestEveryRunnerRuns(t *testing.T) {
 		if r.NeedsWeights {
 			view = wg
 		}
-		res, err := r.Run(context.Background(), view, RunParams{Source: 0})
+		res, err := r.Run(context.Background(), view, Params{Source: 0})
 		if err != nil {
 			t.Fatalf("%s: %v", r.Name, err)
 		}
@@ -71,7 +71,7 @@ func TestCancellableRunnersReturnPartial(t *testing.T) {
 		if r.NeedsWeights {
 			view = wg
 		}
-		_, err := r.Run(ctx, view, RunParams{Source: 0})
+		_, err := r.Run(ctx, view, Params{Source: 0})
 		if !errors.Is(err, context.Canceled) {
 			t.Errorf("%s: err = %v, want context.Canceled", r.Name, err)
 		}

@@ -60,7 +60,6 @@ func SCCCtx(ctx context.Context, g graph.View, opts core.Options) (*SCCResult, e
 
 	gT := TransposeView(g)
 
-	opts = withCtx(opts, ctx)
 	pivots := 0
 	finish := func(err error) (*SCCResult, error) {
 		components := parallel.CountFunc(n, func(i int) bool { return labels[i] == uint32(i) })
@@ -89,11 +88,11 @@ func SCCCtx(ctx context.Context, g graph.View, opts core.Options) (*SCCResult, e
 		// we fix after reachability; any pivot works, use members[0].
 		pivot := members[0]
 
-		fwd, err := reachableWithin(g, pivot, region, t.id, labels, opts)
+		fwd, err := reachableWithin(ctx, g, pivot, region, t.id, labels, opts)
 		if err != nil {
 			return finish(err)
 		}
-		bwd, err := reachableWithin(gT, pivot, region, t.id, labels, opts)
+		bwd, err := reachableWithin(ctx, gT, pivot, region, t.id, labels, opts)
 		if err != nil {
 			return finish(err)
 		}
@@ -154,10 +153,9 @@ func SCCCtx(ctx context.Context, g graph.View, opts core.Options) (*SCCResult, e
 
 // reachableWithin runs a BFS from pivot over g's out-edges restricted to
 // unlabeled vertices of the given region, returning the visited bitset.
-// Cancellation (carried inside opts.Context) aborts the traversal and
-// reports the error; the bitset is then incomplete and discarded by the
-// caller.
-func reachableWithin(g graph.View, pivot uint32, region []uint32, id uint32,
+// Cancellation (ctx) aborts the traversal and reports the error; the
+// bitset is then incomplete and discarded by the caller.
+func reachableWithin(ctx context.Context, g graph.View, pivot uint32, region []uint32, id uint32,
 	labels []uint32, opts core.Options) (*visitedBits, error) {
 
 	n := g.NumVertices()
@@ -176,7 +174,7 @@ func reachableWithin(g graph.View, pivot uint32, region []uint32, id uint32,
 	}
 	frontier := core.NewSingle(n, pivot)
 	for !frontier.IsEmpty() {
-		next, err := core.EdgeMapCtx(g, frontier, funcs, opts)
+		next, err := core.EdgeMapCtx(ctx, g, frontier, funcs, opts)
 		if err != nil {
 			return visited, err
 		}

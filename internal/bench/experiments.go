@@ -483,10 +483,11 @@ func Experiments() map[string]func(Config) error {
 		"dedup":        DedupAblation,
 		"bucketing":    BucketingAblation,
 		"hotpath":      HotPath,
+		"servecache":   ServeCache,
 	}
 }
 
 // ExperimentOrder lists the IDs in presentation order.
 func ExperimentOrder() []string {
-	return []string{"table1", "table2", "scalability", "frontier", "threshold", "denseforward", "compress", "dedup", "bucketing", "hotpath"}
+	return []string{"table1", "table2", "scalability", "frontier", "threshold", "denseforward", "compress", "dedup", "bucketing", "hotpath", "servecache"}
 }

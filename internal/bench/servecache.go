@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"ligra/internal/algo"
+	"ligra/internal/server/engine"
+)
+
+// ServeCache times a repeated-query workload through ligra-serve's query
+// engine with the result cache off versus on. The workload is the serving
+// pattern the cache targets: a handful of distinct queries, each re-asked
+// many times against the same resident graph (a dashboard refreshing).
+// Every measured run uses a fresh engine, so with the cache on the first
+// issue of each distinct query misses and the repeats hit; with it off
+// every issue executes. The comparison is report-only — it documents the
+// cache's effect at the current scale, it never gates CI.
+func ServeCache(cfg Config) error {
+	suite := DefaultSuite(cfg.Scale)
+	in, err := FindInput(suite, "rMat")
+	if err != nil {
+		return err
+	}
+	g, err := in.Build()
+	if err != nil {
+		return err
+	}
+	src := pickSource(g)
+
+	const repeat = 8
+	queries := []struct {
+		algoName string
+		params   algo.Params
+	}{
+		{"bfs", algo.Params{Source: src}},
+		{"components", algo.Params{}},
+		{"pagerank", algo.Params{}},
+	}
+
+	// workload issues every query repeat times through eng, the way the
+	// server's query handler does: governor lease plumbed into the run as
+	// the per-call proc cap.
+	workload := func(eng *engine.Engine) {
+		for i := 0; i < repeat; i++ {
+			for _, q := range queries {
+				r, ok := algo.FindRunner(q.algoName)
+				if !ok {
+					panic(algo.UnknownAlgoError(q.algoName))
+				}
+				k := engine.Key{Graph: in.Name, Generation: 1, Algo: r.Name, Params: q.params.Canonical()}
+				_, _, err := eng.Execute(context.Background(), k,
+					func(ctx context.Context, procs int) (engine.Value, error) {
+						p := q.params
+						p.EdgeMap.Procs = procs
+						res, err := r.Run(ctx, g, p)
+						return engine.Value{Data: res, Bytes: int64(len(res.Summary)) + 256}, err
+					})
+				if err != nil {
+					panic(fmt.Errorf("servecache %s: %w", q.algoName, err))
+				}
+			}
+		}
+	}
+
+	variants := []struct {
+		id         string
+		cacheBytes int64
+	}{
+		{"cache-off", 0},
+		{"cache-on", 64 << 20},
+	}
+
+	fmt.Fprintf(cfg.Out, "Query-engine result cache on %s (n=%d, m=%d; %d distinct queries x%d issues; seconds, median of %d)\n",
+		in.Name, g.NumVertices(), g.NumEdges(), len(queries), repeat, cfg.rounds())
+	w := cfg.tab()
+	fmt.Fprintln(w, "Variant\tmedian\tmin\thits\tmisses\texecutions")
+	for _, v := range variants {
+		if cfg.budgetExhausted(w) {
+			break
+		}
+		var last engine.Stats
+		tm := Measure(cfg.rounds(), func() {
+			eng := engine.New(engine.NewCache(v.cacheBytes), engine.NewGovernor(0, 0))
+			workload(eng)
+			last = eng.Snapshot()
+		})
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%d\t%d\t%d\n",
+			v.id, tm.Median.Seconds(), tm.Min.Seconds(),
+			last.Cache.Hits, last.Cache.Misses, last.Executions)
+		cfg.record("servecache/"+v.id, tm.Median.Seconds())
+	}
+	return w.Flush()
+}

@@ -20,7 +20,7 @@ func TestEdgeMapCtxPreCancelled(t *testing.T) {
 		applied.Add(1)
 		return true
 	}}
-	out, err := EdgeMapCtx(g, u, f, Options{Context: ctx})
+	out, err := EdgeMapCtx(ctx, g, u, f, Options{})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -41,7 +41,7 @@ func TestEdgeMapCtxCancelDuringTraversal(t *testing.T) {
 		cancel()
 		return true
 	}}
-	_, err := EdgeMapCtx(g, u, f, Options{Context: ctx})
+	_, err := EdgeMapCtx(ctx, g, u, f, Options{})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -53,7 +53,7 @@ func TestEdgeMapCtxMatchesEdgeMapWithoutContext(t *testing.T) {
 		u := NewSingle(g.NumVertices(), 0)
 		f := EdgeFuncs{UpdateAtomic: func(s, d uint32, _ int32) bool { return true }}
 		want := sortedIDs(EdgeMap(g, u, f, opts))
-		got, err := EdgeMapCtx(g, u, f, opts)
+		got, err := EdgeMapCtx(nil, g, u, f, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +75,7 @@ func TestEdgeMapCtxWorkerPanicBecomesError(t *testing.T) {
 	f := EdgeFuncs{UpdateAtomic: func(s, d uint32, _ int32) bool {
 		panic("bad update")
 	}}
-	_, err := EdgeMapCtx(g, u, f, Options{Context: context.Background()})
+	_, err := EdgeMapCtx(context.Background(), g, u, f, Options{})
 	var pe *parallel.PanicError
 	if !errors.As(err, &pe) {
 		t.Fatalf("err = %v, want *parallel.PanicError", err)
@@ -130,8 +130,90 @@ func TestEdgeMapCtxFaultInjectedCancel(t *testing.T) {
 	defer disarm()
 	f := EdgeFuncs{UpdateAtomic: func(s, d uint32, _ int32) bool { return true }}
 	// Round 1 (the first EdgeMap invocation) trips the injected cancel.
-	_, err := EdgeMapCtx(g, u, f, Options{Context: ctx})
+	_, err := EdgeMapCtx(ctx, g, u, f, Options{})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled from injected round fault", err)
+	}
+}
+
+func TestEdgeMapCtxOptionsContextFallback(t *testing.T) {
+	g := testGraph(t)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	// Nil explicit ctx: opts.Context is honored.
+	u := NewSingle(g.NumVertices(), 0)
+	f := EdgeFuncs{UpdateAtomic: func(s, d uint32, _ int32) bool { return true }}
+	_, err := EdgeMapCtx(nil, g, u, f, Options{Context: cancelled})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("nil ctx + cancelled opts.Context: err = %v, want context.Canceled", err)
+	}
+
+	// Explicit ctx wins over opts.Context.
+	out, err := EdgeMapCtx(context.Background(), g, u, f, Options{Context: cancelled})
+	if err != nil {
+		t.Fatalf("explicit background ctx should override cancelled opts.Context, got %v", err)
+	}
+	if out == nil {
+		t.Fatal("explicit background ctx returned a nil frontier")
+	}
+}
+
+func TestEdgeMapCtxOptionsProcsCapsConcurrency(t *testing.T) {
+	old := parallel.Procs()
+	parallel.SetProcs(8)
+	defer parallel.SetProcs(old)
+
+	g := testGraph(t)
+	u := NewAll(g.NumVertices())
+	var cur, peak atomic.Int64
+	f := EdgeFuncs{UpdateAtomic: func(s, d uint32, _ int32) bool {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return true
+	}}
+	for _, mode := range []Mode{ForceSparse, ForceDense} {
+		cur.Store(0)
+		peak.Store(0)
+		_, err := EdgeMapCtx(nil, g, u, f, Options{Mode: mode, Procs: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := peak.Load(); p > 1 {
+			t.Errorf("mode %v: observed %d concurrent updates with Options.Procs=1", mode, p)
+		}
+	}
+}
+
+func TestEdgeMapDataCtxCancelAndProcs(t *testing.T) {
+	g := testGraph(t)
+	u := NewSingle(g.NumVertices(), 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := EdgeDataFuncs[uint32]{UpdateAtomic: func(s, d uint32, _ int32) (uint32, bool) {
+		return s, true
+	}}
+	out, err := EdgeMapDataCtx(ctx, g, u, f, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Error("interrupted EdgeMapDataCtx returned a subset")
+	}
+
+	// Uncancelled with a proc cap still matches EdgeMapData.
+	got, err := EdgeMapDataCtx(nil, g, u, f, Options{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EdgeMapData(g, u, f, Options{})
+	if got.Size() != want.Size() {
+		t.Errorf("capped EdgeMapDataCtx produced %d pairs, want %d", got.Size(), want.Size())
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"ligra/internal/graph"
 	"ligra/internal/parallel"
 )
@@ -69,22 +71,48 @@ type EdgeDataFuncs[T any] struct {
 
 // EdgeMapData is Ligra's edgeMapData: like EdgeMap, but the output
 // frontier carries per-vertex payloads returned by the update functions.
-// The traversal strategy selection matches EdgeMap.
+// The traversal strategy selection matches EdgeMap. A worker panic
+// propagates as a panic whose value is a *parallel.PanicError; use
+// EdgeMapDataCtx for cooperative cancellation.
 func EdgeMapData[T any](g graph.View, u *VertexSubset, f EdgeDataFuncs[T], opts Options) *DataSubset[T] {
+	opts.Context = nil
+	out, err := EdgeMapDataCtx(nil, g, u, f, opts)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// EdgeMapDataCtx is EdgeMapData with cooperative cancellation and panic
+// containment, mirroring EdgeMapCtx's contract: ctx (nil = background) is
+// observed at chunk granularity, with opts.Context used as a fallback
+// only when the explicit ctx argument is nil. On interruption it returns
+// (nil, ctx.Err()); updates already applied are not rolled back. A worker
+// panic is returned as a *parallel.PanicError.
+func EdgeMapDataCtx[T any](ctx context.Context, g graph.View, u *VertexSubset, f EdgeDataFuncs[T], opts Options) (*DataSubset[T], error) {
 	n := g.NumVertices()
 	if u.UniverseSize() != n {
 		panic("core: EdgeMapData frontier universe does not match graph")
 	}
+	ctx = opts.resolveCtx(ctx)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if u.IsEmpty() {
 		globalStats.record(0, 0, false, false, 0)
-		return NewDataSubset[T](n, nil)
+		return NewDataSubset[T](n, nil), nil
 	}
 
 	threshold := opts.Threshold
 	if threshold <= 0 {
 		threshold = g.NumEdges() / DefaultThresholdDenominator
 	}
-	outDeg, _ := frontierOutDegrees(nil, g, u, threshold-int64(u.Size()))
+	outDeg, err := frontierOutDegrees(ctx, g, u, threshold-int64(u.Size()))
+	if err != nil {
+		return nil, err
+	}
 	dense := int64(u.Size())+outDeg > threshold
 	switch opts.Mode {
 	case ForceSparse:
@@ -94,17 +122,20 @@ func EdgeMapData[T any](g graph.View, u *VertexSubset, f EdgeDataFuncs[T], opts 
 	}
 	var out *DataSubset[T]
 	if dense {
-		out = edgeMapDataDense(g, u, f, opts)
+		out, err = edgeMapDataDense(ctx, g, u, f, opts)
 	} else {
-		out = edgeMapDataSparse(g, u, f, opts)
+		out, err = edgeMapDataSparse(ctx, g, u, f, opts)
+	}
+	if err != nil {
+		return nil, err
 	}
 	globalStats.record(u.Size(), outDeg, dense, false, out.Size())
-	return out
+	return out, nil
 }
 
 // edgeMapDataSparse pushes over the frontier's out-edges, gathering
 // winning (d, value) pairs via prefix-sum slots and a pack.
-func edgeMapDataSparse[T any](g graph.View, u *VertexSubset, f EdgeDataFuncs[T], opts Options) *DataSubset[T] {
+func edgeMapDataSparse[T any](ctx context.Context, g graph.View, u *VertexSubset, f EdgeDataFuncs[T], opts Options) (*DataSubset[T], error) {
 	n := g.NumVertices()
 	ids := u.ToSparse()
 	update := f.UpdateAtomic
@@ -121,7 +152,7 @@ func edgeMapDataSparse[T any](g graph.View, u *VertexSubset, f EdgeDataFuncs[T],
 		valid bool
 	}
 	slots := make([]slot, total)
-	parallel.For(len(ids), func(i int) {
+	err := parallel.ForCtx(ctx, len(ids), func(i int) {
 		s := ids[i]
 		k := offsets[i]
 		g.OutNeighbors(s, func(d uint32, w int32) bool {
@@ -134,12 +165,15 @@ func edgeMapDataSparse[T any](g graph.View, u *VertexSubset, f EdgeDataFuncs[T],
 			return true
 		})
 	})
+	if err != nil {
+		return nil, err
+	}
 	kept := parallel.Filter(slots, func(sl slot) bool { return sl.valid })
 	pairs := parallel.MapNew(len(kept), func(i int) Pair[T] { return kept[i].pair })
 	if opts.RemoveDuplicates && len(pairs) > 1 {
 		pairs = dedupPairs(n, pairs)
 	}
-	return NewDataSubset(n, pairs)
+	return NewDataSubset(n, pairs), nil
 }
 
 // dedupPairs keeps one pair per vertex (the first claimant) using the
@@ -161,7 +195,7 @@ func dedupPairs[T any](n int, pairs []Pair[T]) []Pair[T] {
 
 // edgeMapDataDense pulls over in-edges; each destination has a single
 // writer, so its winning value is recorded without synchronization.
-func edgeMapDataDense[T any](g graph.View, u *VertexSubset, f EdgeDataFuncs[T], opts Options) *DataSubset[T] {
+func edgeMapDataDense[T any](ctx context.Context, g graph.View, u *VertexSubset, f EdgeDataFuncs[T], opts Options) (*DataSubset[T], error) {
 	n := g.NumVertices()
 	ud := u.ToDense()
 	update := f.Update
@@ -172,7 +206,7 @@ func edgeMapDataDense[T any](g graph.View, u *VertexSubset, f EdgeDataFuncs[T], 
 
 	values := make([]T, n)
 	won := make([]uint32, n) // 0/1 flags; one writer per d
-	parallel.For(n, func(di int) {
+	err := parallel.ForCtx(ctx, n, func(di int) {
 		d := uint32(di)
 		if cond != nil && !cond(d) {
 			return
@@ -190,9 +224,12 @@ func edgeMapDataDense[T any](g graph.View, u *VertexSubset, f EdgeDataFuncs[T], 
 			return true
 		})
 	})
+	if err != nil {
+		return nil, err
+	}
 	idx := parallel.PackIndex[uint32](n, func(i int) bool { return won[i] == 1 })
 	pairs := parallel.MapNew(len(idx), func(i int) Pair[T] {
 		return Pair[T]{V: idx[i], Val: values[idx[i]]}
 	})
-	return NewDataSubset(n, pairs)
+	return NewDataSubset(n, pairs), nil
 }

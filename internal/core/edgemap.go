@@ -82,12 +82,32 @@ type Options struct {
 	// Trace, when non-nil, records one entry per EdgeMap call for the
 	// frontier-trace experiments.
 	Trace *Trace
-	// Context, when non-nil, makes the traversal cooperative: EdgeMapCtx
-	// checks it at chunk granularity and aborts with its error, so even a
-	// dense pull over billions of edges returns within one chunk of a
-	// deadline expiring. Plain EdgeMap ignores it (it has no way to report
-	// the error); use EdgeMapCtx.
+	// Context is a fallback cancellation context for callers that cannot
+	// pass one explicitly: EdgeMapCtx and EdgeMapDataCtx use it only when
+	// their explicit ctx argument is nil (the explicit argument always
+	// takes precedence). Plain EdgeMap ignores it (it has no way to
+	// report the error); use EdgeMapCtx.
 	Context context.Context
+	// Procs, when positive, caps the number of worker goroutines used by
+	// every parallel loop of this call at min(Procs, the process-wide
+	// setting). It is how a server grants each query a bounded share of
+	// the machine (see parallel.WithProcs); 0 inherits the cap already on
+	// the context, if any.
+	Procs int
+}
+
+// resolveCtx merges the explicit ctx argument with the options: the
+// explicit argument wins when non-nil, falling back to opts.Context, and
+// a positive Procs caps the worker count of every parallel loop run under
+// the returned context.
+func (o Options) resolveCtx(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = o.Context
+	}
+	if o.Procs > 0 {
+		ctx = parallel.WithProcs(ctx, o.Procs)
+	}
+	return ctx
 }
 
 // DefaultThresholdDenominator is the paper's frontier-size switch constant:
@@ -140,7 +160,7 @@ func putScratch(s []uint32) { scratchPool.Put(s) }
 // *parallel.PanicError. Use EdgeMapCtx for cooperative cancellation.
 func EdgeMap(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *VertexSubset {
 	opts.Context = nil
-	out, err := EdgeMapCtx(g, u, f, opts)
+	out, err := EdgeMapCtx(nil, g, u, f, opts)
 	if err != nil {
 		// Without a context the only possible error is a contained worker
 		// panic; surface it as the panic the non-ctx API promises.
@@ -150,20 +170,23 @@ func EdgeMap(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) *VertexSu
 }
 
 // EdgeMapCtx is EdgeMap with cooperative cancellation and panic
-// containment. The context is taken from opts.Context (nil behaves like
-// context.Background()). Cancellation is observed at chunk granularity:
-// the traversal stops dispatching work within one chunk and returns
-// (nil, ctx.Err()). Updates already applied when the traversal aborts are
-// NOT rolled back — per-vertex state mutated by f keeps all completed
-// writes, which is what gives algorithms their partial results. A panic in
-// a worker is returned as a *parallel.PanicError instead of panicking.
-func EdgeMapCtx(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
+// containment. ctx is the cancellation context (nil behaves like
+// context.Background()); when ctx is nil, opts.Context — kept as a
+// fallback for callers that thread options through deep call chains — is
+// used instead, so the explicit argument always takes precedence.
+// Cancellation is observed at chunk granularity: the traversal stops
+// dispatching work within one chunk and returns (nil, ctx.Err()). Updates
+// already applied when the traversal aborts are NOT rolled back —
+// per-vertex state mutated by f keeps all completed writes, which is what
+// gives algorithms their partial results. A panic in a worker is returned
+// as a *parallel.PanicError instead of panicking.
+func EdgeMapCtx(ctx context.Context, g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
 	n := g.NumVertices()
 	if u.UniverseSize() != n {
 		panic("core: EdgeMap frontier universe does not match graph")
 	}
 	faultinject.OnRound()
-	ctx := opts.Context
+	ctx = opts.resolveCtx(ctx)
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -196,12 +219,12 @@ func EdgeMapCtx(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*Vert
 	var out *VertexSubset
 	if dense {
 		if opts.DenseForward {
-			out, err = edgeMapDenseForward(g, u, f, opts)
+			out, err = edgeMapDenseForward(ctx, g, u, f, opts)
 		} else {
-			out, err = edgeMapDense(g, u, f, opts)
+			out, err = edgeMapDense(ctx, g, u, f, opts)
 		}
 	} else {
-		out, err = edgeMapSparse(g, u, f, opts)
+		out, err = edgeMapSparse(ctx, g, u, f, opts)
 	}
 	if err != nil {
 		return nil, err
@@ -320,7 +343,7 @@ type sparseWorkerBuf struct {
 // frontier edge order — at the cost of writing only the successes instead
 // of one slot per scanned edge. CSR graphs take a raw-slice fast path
 // that avoids the per-edge iterator callback.
-func edgeMapSparse(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
+func edgeMapSparse(ctx context.Context, g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
 	n := g.NumVertices()
 	ids := u.ToSparse()
 	update := f.UpdateAtomic
@@ -331,7 +354,7 @@ func edgeMapSparse(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*V
 	csr, _ := g.(*graph.Graph)
 
 	if opts.NoOutput {
-		err := parallel.ForCtx(opts.Context, len(ids), func(i int) {
+		err := parallel.ForCtx(ctx, len(ids), func(i int) {
 			s := ids[i]
 			if csr != nil {
 				row, wts := csr.OutEdgesSlice(s)
@@ -359,11 +382,11 @@ func edgeMapSparse(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*V
 		return NewEmpty(n), nil
 	}
 
-	grain := parallel.AutoGrain(len(ids))
+	grain := parallel.AutoGrainCtx(ctx, len(ids))
 	nchunks := (len(ids) + grain - 1) / grain
-	workers := make([]sparseWorkerBuf, parallel.Procs())
+	workers := make([]sparseWorkerBuf, parallel.CtxProcs(ctx))
 	segLen := make([]int64, nchunks)
-	err := parallel.ForWorkerChunksCtx(opts.Context, len(ids), grain, func(wk, c, lo, hi int) {
+	err := parallel.ForWorkerChunksCtx(ctx, len(ids), grain, func(wk, c, lo, hi int) {
 		wb := &workers[wk]
 		buf := wb.ids
 		start := len(buf)
@@ -491,7 +514,7 @@ func denseGrain(n int) int {
 // is processed by exactly one goroutine. Destinations are processed in
 // cache-sized blocks aligned to output bitset words, so output bits are
 // set with plain stores — each block's words belong to exactly one worker.
-func edgeMapDense(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
+func edgeMapDense(ctx context.Context, g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
 	n := g.NumVertices()
 	ud := u.ToDense()
 	update := f.Update
@@ -590,7 +613,7 @@ func edgeMapDense(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*Ve
 			}
 		}
 	}
-	err := parallel.ForRangeGrainCtx(opts.Context, n, denseGrain(n), body)
+	err := parallel.ForRangeGrainCtx(ctx, n, denseGrain(n), body)
 	if err != nil {
 		return nil, err
 	}
@@ -606,7 +629,7 @@ func edgeMapDense(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*Ve
 // at the cost of atomics and no early exit. The frontier bit vector is
 // scanned a word at a time, so the 63/64ths of a sparse-ish frontier that
 // is empty words costs one load each instead of 64 bit tests.
-func edgeMapDenseForward(g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
+func edgeMapDenseForward(ctx context.Context, g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (*VertexSubset, error) {
 	n := g.NumVertices()
 	ud := u.ToDense()
 	update := f.UpdateAtomic
@@ -621,7 +644,7 @@ func edgeMapDenseForward(g graph.View, u *VertexSubset, f EdgeFuncs, opts Option
 		out = bitset.New(n)
 	}
 	words := ud.Words()
-	err := parallel.ForRangeCtx(opts.Context, len(words), func(lo, hi int) {
+	err := parallel.ForRangeCtx(ctx, len(words), func(lo, hi int) {
 		for wi := lo; wi < hi; wi++ {
 			w := words[wi]
 			if w == 0 {

@@ -25,6 +25,10 @@ import (
 //
 // A nil ctx disables the cancellation checks (it behaves like
 // context.Background()) but keeps the panic-to-error conversion.
+//
+// The context can additionally carry a per-call worker cap (WithProcs):
+// every primitive here sizes its worker pool by CtxProcs(ctx) instead of
+// the process-wide Procs().
 
 // ForCtx is the context-aware For.
 func ForCtx(ctx context.Context, n int, body func(i int)) error {
@@ -56,7 +60,7 @@ func ForRangeGrainCtx(ctx context.Context, n, grain int, body func(lo, hi int)) 
 	if n <= 0 {
 		return nil
 	}
-	procs := Procs()
+	procs := CtxProcs(ctx)
 	if grain <= 0 {
 		grain = defaultGrain(n, procs)
 	}
@@ -173,7 +177,7 @@ func DoCtx(ctx context.Context, thunks ...func()) error {
 		}
 		t()
 	}
-	if Procs() == 1 || len(thunks) == 1 {
+	if CtxProcs(ctx) == 1 || len(thunks) == 1 {
 		for _, t := range thunks {
 			run(t)
 		}

@@ -20,8 +20,8 @@ func AutoGrain(n int) int {
 
 // ForWorkerChunksCtx dispatches the contiguous chunks of [0, n) dynamically
 // to workers like ForRangeGrainCtx, additionally passing the executing
-// worker's index (in [0, Procs())) and the chunk's index (lo/grain) to the
-// body. grain <= 0 selects the automatic size (AutoGrain).
+// worker's index (in [0, CtxProcs(ctx))) and the chunk's index (lo/grain)
+// to the body. grain <= 0 selects the automatic size (AutoGrainCtx).
 //
 // The worker index enables contention-free per-worker accumulators: each
 // worker runs at most one chunk at a time, so state keyed by the worker
@@ -44,7 +44,7 @@ func ForWorkerChunksCtx(ctx context.Context, n, grain int, body func(worker, chu
 	if n <= 0 {
 		return nil
 	}
-	procs := Procs()
+	procs := CtxProcs(ctx)
 	if grain <= 0 {
 		grain = defaultGrain(n, procs)
 	}

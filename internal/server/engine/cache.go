@@ -1,0 +1,186 @@
+// Package engine is ligra-serve's query engine: the layer between the
+// HTTP handlers and the algorithm registry that decides how a query
+// executes. It contributes three behaviours the handlers compose per
+// request:
+//
+//   - a memory-bounded LRU result cache keyed by (graph, graph
+//     generation, algorithm, canonical parameters), so repeated
+//     deterministic queries are served without recomputation;
+//   - single-flight coalescing, so N identical concurrent queries run the
+//     algorithm once and share the result;
+//   - a parallelism governor that leases each executing query a bounded
+//     number of CPU slots, plumbed through internal/parallel's
+//     context-carried proc caps so concurrent queries share the machine
+//     instead of each fanning out to every core.
+//
+// The engine is deliberately ignorant of HTTP and of algo.RunResult: it
+// stores opaque Values sized by the caller, so it can be tested (and
+// reused) without a server around it.
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies a deterministic-equivalent query: two queries with equal
+// Keys would compute identical results, which is what makes caching and
+// coalescing sound. Generation is the registry's per-name load counter —
+// a reloaded graph gets a new generation, so entries cached against the
+// old residency can never answer for the new one.
+type Key struct {
+	Graph      string
+	Generation uint64
+	Algo       string
+	Params     string // algo.Params.Canonical()
+}
+
+// Value is one cached (or computed) query result: an opaque payload plus
+// the caller's estimate of its memory footprint, which is what the
+// cache's byte budget accounts.
+type Value struct {
+	Data  any
+	Bytes int64
+}
+
+// entryOverheadBytes approximates the per-entry bookkeeping cost (map
+// slot, list element, key strings) charged on top of Value.Bytes, so a
+// flood of tiny results still respects the budget.
+const entryOverheadBytes = 256
+
+// Cache is a memory-bounded LRU result cache. A nil *Cache is a valid
+// always-miss cache, which is how the engine models "-cache-mb 0".
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[Key]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key Key
+	val Value
+}
+
+// NewCache returns a cache bounded to maxBytes of estimated result
+// footprint; maxBytes <= 0 returns nil (caching disabled).
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the cached value for k, marking it most recently used.
+func (c *Cache) Get(k Key) (Value, bool) {
+	if c == nil {
+		return Value{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return Value{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores v under k, evicting least-recently-used entries until the
+// byte budget holds. A value that alone exceeds the budget is not cached.
+func (c *Cache) Put(k Key, v Value) {
+	if c == nil {
+		return
+	}
+	cost := v.Bytes + entryOverheadBytes
+	if cost > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		// Replace in place (a re-execution after an uncached partial run,
+		// or a racing duplicate computation).
+		old := el.Value.(*cacheEntry)
+		c.bytes += cost - (old.val.Bytes + entryOverheadBytes)
+		old.val = v
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[k] = c.ll.PushFront(&cacheEntry{key: k, val: v})
+		c.bytes += cost
+	}
+	for c.bytes > c.maxBytes {
+		c.evictOldestLocked()
+	}
+}
+
+func (c *Cache) evictOldestLocked() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.val.Bytes + entryOverheadBytes
+	c.evictions++
+}
+
+// InvalidateGraph drops every entry cached for the named graph (any
+// generation), returning how many were removed. Called on graph evict and
+// replace so freed graph memory is not pinned by stale results.
+func (c *Cache) InvalidateGraph(graph string) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); e.key.Graph == graph {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			c.bytes -= e.val.Bytes + entryOverheadBytes
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+}
+
+// Stats snapshots the counters; a nil cache reports all zeros.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.items),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+	}
+}

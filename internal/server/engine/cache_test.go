@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ck(i int) Key {
+	return Key{Graph: "g", Generation: 1, Algo: "bfs", Params: fmt.Sprintf("source=%d", i)}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Budget for ~4 entries of 744 bytes (500 + overhead).
+	c := NewCache(3000)
+	for i := 0; i < 6; i++ {
+		c.Put(ck(i), Value{Data: i, Bytes: 500})
+	}
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Fatalf("no evictions after overfilling: %+v", s)
+	}
+	if s.Bytes > 3000 {
+		t.Errorf("cache over budget: %d bytes", s.Bytes)
+	}
+	// Oldest entries must be gone, newest present.
+	if _, ok := c.Get(ck(0)); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if v, ok := c.Get(ck(5)); !ok || v.Data != 5 {
+		t.Error("newest entry was evicted")
+	}
+}
+
+func TestCacheGetRefreshesRecency(t *testing.T) {
+	c := NewCache(3 * (100 + entryOverheadBytes))
+	c.Put(ck(0), Value{Data: 0, Bytes: 100})
+	c.Put(ck(1), Value{Data: 1, Bytes: 100})
+	c.Put(ck(2), Value{Data: 2, Bytes: 100})
+	c.Get(ck(0)) // 0 becomes most recent; 1 is now LRU
+	c.Put(ck(3), Value{Data: 3, Bytes: 100})
+	if _, ok := c.Get(ck(0)); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := c.Get(ck(1)); ok {
+		t.Error("LRU entry survived")
+	}
+}
+
+func TestCacheRejectsOversizedValue(t *testing.T) {
+	c := NewCache(1000)
+	c.Put(ck(0), Value{Data: 0, Bytes: 10_000})
+	if s := c.Stats(); s.Entries != 0 {
+		t.Errorf("oversized value cached: %+v", s)
+	}
+}
+
+func TestCacheReplaceAdjustsBytes(t *testing.T) {
+	c := NewCache(10_000)
+	c.Put(ck(0), Value{Data: "old", Bytes: 100})
+	c.Put(ck(0), Value{Data: "new", Bytes: 300})
+	s := c.Stats()
+	if s.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", s.Entries)
+	}
+	if want := int64(300 + entryOverheadBytes); s.Bytes != want {
+		t.Errorf("bytes = %d, want %d", s.Bytes, want)
+	}
+	if v, _ := c.Get(ck(0)); v.Data != "new" {
+		t.Errorf("stale value after replace: %v", v.Data)
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	c := NewCache(0)
+	if c != nil {
+		t.Fatal("NewCache(0) should disable caching")
+	}
+	c.Put(ck(0), Value{Bytes: 10})
+	if _, ok := c.Get(ck(0)); ok {
+		t.Error("nil cache returned a hit")
+	}
+	if n := c.InvalidateGraph("g"); n != 0 {
+		t.Error("nil cache invalidated entries")
+	}
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Errorf("nil cache stats = %+v", s)
+	}
+}
+
+func TestGovernorGrantsAndReclaims(t *testing.T) {
+	g := NewGovernor(4, 2)
+	p1, r1 := g.Acquire()
+	p2, r2 := g.Acquire()
+	if p1 != 2 || p2 != 2 {
+		t.Errorf("grants = %d, %d, want 2, 2", p1, p2)
+	}
+	// Pool empty: minimum grant keeps light queries unblocked.
+	p3, r3 := g.Acquire()
+	if p3 != 1 {
+		t.Errorf("empty-pool grant = %d, want 1", p3)
+	}
+	if s := g.Stats(); s.ActiveLeases != 3 || s.InUse != 5 {
+		t.Errorf("stats = %+v, want 3 leases / 5 in use", s)
+	}
+	r1()
+	r2()
+	r3()
+	if s := g.Stats(); s.InUse != 0 || s.ActiveLeases != 0 {
+		t.Errorf("pool not reclaimed: %+v", s)
+	}
+	if p, r := g.Acquire(); p != 2 {
+		t.Errorf("grant after reclaim = %d, want 2", p)
+	} else {
+		r()
+	}
+}
+
+func TestGovernorDefaults(t *testing.T) {
+	g := NewGovernor(0, 0)
+	s := g.Stats()
+	if s.TotalSlots < 1 || s.PerQueryMax < 1 || s.PerQueryMax > s.TotalSlots {
+		t.Errorf("defaults = %+v", s)
+	}
+	g = NewGovernor(4, 99)
+	if s := g.Stats(); s.PerQueryMax != 4 {
+		t.Errorf("perQuery should clamp to total: %+v", s)
+	}
+}

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Governor is the per-query parallelism governor: a pool of CPU slots
+// from which every executing query leases a bounded worker count. Without
+// it, each admitted query fans its parallel loops out to every core, so K
+// concurrent queries contend K-fold and heavy queries starve light ones;
+// with it, a query runs with min(perQuery, slots still free) workers.
+//
+// Acquire never blocks and never grants fewer than one slot: a light
+// query always makes progress even while heavy queries hold the pool, at
+// the cost of bounded oversubscription (at most one extra worker per
+// concurrently admitted query, which the server's admission semaphore
+// caps). Leases are returned with the release func.
+type Governor struct {
+	mu       sync.Mutex
+	total    int
+	perQuery int
+	free     int // may go negative under minimum-grant oversubscription
+	leases   int
+}
+
+// NewGovernor builds a pool of total CPU slots granting at most perQuery
+// per lease; 0 (or negative) selects GOMAXPROCS for either.
+func NewGovernor(total, perQuery int) *Governor {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	if perQuery <= 0 || perQuery > total {
+		perQuery = total
+	}
+	return &Governor{total: total, perQuery: perQuery, free: total}
+}
+
+// Acquire leases between 1 and perQuery slots, preferring as many as are
+// free. The returned release must be called exactly once; it is
+// idempotent-unsafe by design (a double release would inflate the pool).
+func (g *Governor) Acquire() (procs int, release func()) {
+	g.mu.Lock()
+	procs = g.perQuery
+	if g.free < procs {
+		procs = g.free
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	g.free -= procs
+	g.leases++
+	g.mu.Unlock()
+	return procs, func() {
+		g.mu.Lock()
+		g.free += procs
+		g.leases--
+		g.mu.Unlock()
+	}
+}
+
+// GovernorStats is a point-in-time view of slot occupancy.
+type GovernorStats struct {
+	TotalSlots  int `json:"total_slots"`
+	PerQueryMax int `json:"per_query_max"`
+	// InUse is the number of slots currently leased; minimum-grant
+	// oversubscription can push it above TotalSlots transiently.
+	InUse int `json:"in_use"`
+	// ActiveLeases is the number of queries currently holding a lease.
+	ActiveLeases int `json:"active_leases"`
+}
+
+// Stats snapshots the pool.
+func (g *Governor) Stats() GovernorStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GovernorStats{
+		TotalSlots:   g.total,
+		PerQueryMax:  g.perQuery,
+		InUse:        g.total - g.free,
+		ActiveLeases: g.leases,
+	}
+}

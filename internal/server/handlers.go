@@ -11,10 +11,10 @@ import (
 	"time"
 
 	"ligra/internal/algo"
-	"ligra/internal/core"
 	"ligra/internal/gen"
 	"ligra/internal/graph"
 	"ligra/internal/parallel"
+	"ligra/internal/server/engine"
 )
 
 func (s *Server) routes() {
@@ -51,7 +51,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.reg))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.reg, s.engine))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -77,7 +77,8 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "graph not found: %q", name)
 		return
 	}
-	s.log.Info("graph evicted", "graph", name)
+	dropped := s.engine.InvalidateGraph(name)
+	s.log.Info("graph evicted", "graph", name, "cache_entries_dropped", dropped)
 	writeJSON(w, http.StatusOK, map[string]any{"evicted": name})
 }
 
@@ -190,22 +191,17 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 // fields select per-algorithm defaults (the same ones ligra-run uses).
 type queryRequest struct {
 	Algo string `json:"algo"`
-	// Source is the start vertex for traversal algorithms; omitted means
-	// the graph's highest-out-degree vertex.
+	// Params contributes the algorithm parameters (seed, k, delta, alpha,
+	// eps, mode, threshold) — the same typed set ligra-run builds from its
+	// flags, and the set the result cache keys on via Canonical.
+	algo.Params
+	// Source shadows Params.Source on the wire so that "omitted" is
+	// distinguishable: a nil Source selects the graph's
+	// highest-out-degree vertex.
 	Source *int64 `json:"source,omitempty"`
-	Seed   uint64 `json:"seed,omitempty"`
-	K      int    `json:"k,omitempty"`
-	Delta  int64  `json:"delta,omitempty"`
-	// Alpha and Eps parameterize local-cluster.
-	Alpha float64 `json:"alpha,omitempty"`
-	Eps   float64 `json:"eps,omitempty"`
 	// TimeoutMs bounds the query; on expiry the request completes with
 	// 504 and the algorithm's partial result.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
-	// Mode forces an edgeMap representation: auto | sparse | dense |
-	// dense-forward.
-	Mode      string `json:"mode,omitempty"`
-	Threshold int64  `json:"threshold,omitempty"`
 }
 
 // queryResponse is the body of a query reply (any status).
@@ -221,6 +217,13 @@ type queryResponse struct {
 	Partial               bool   `json:"partial,omitempty"`
 	InterruptedAfterRound int    `json:"interrupted_after_round,omitempty"`
 	Error                 string `json:"error,omitempty"`
+	// Cached marks a result served from the query engine's result cache;
+	// Coalesced marks one shared from an identical concurrent query's
+	// execution. Procs is the parallelism-governor lease the execution
+	// ran with (absent for cached/coalesced replies, which ran nothing).
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	Procs     int  `json:"procs,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -239,18 +242,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", algo.UnknownAlgoError(req.Algo))
 		return
 	}
-	opts := core.Options{Threshold: req.Threshold}
-	switch req.Mode {
-	case "", "auto":
-	case "sparse":
-		opts.Mode = core.ForceSparse
-	case "dense":
-		opts.Mode = core.ForceDense
-	case "dense-forward":
-		opts.Mode = core.ForceDense
-		opts.DenseForward = true
-	default:
-		writeError(w, http.StatusBadRequest, "unknown mode %q", req.Mode)
+	if err := req.Params.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
@@ -301,22 +294,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer tcancel()
 	}
 
-	params := algo.RunParams{
-		Source: source, Seed: req.Seed, K: req.K, Delta: req.Delta,
-		Alpha: req.Alpha, Eps: req.Eps, EdgeMap: opts,
+	params := req.Params
+	params.Source = source
+	key := engine.Key{
+		Graph:      name,
+		Generation: info.Generation,
+		Algo:       runner.Name,
+		Params:     params.Canonical(),
 	}
 	am := s.metrics.Algo(runner.Name)
 	am.Requests.Add(1)
 	s.metrics.InFlight.Add(1)
 	start := time.Now()
-	res, err := safeRun(runner, ctx, g, params)
+	val, how, err := s.engine.Execute(ctx, key, func(runCtx context.Context, procs int) (engine.Value, error) {
+		p := params
+		p.EdgeMap.Procs = procs // cap every edgeMap of the run at the lease
+		res, err := safeRun(runner, runCtx, g, p)
+		return engine.Value{Data: res, Bytes: estimateResultBytes(res)}, err
+	})
 	elapsed := float64(time.Since(start).Microseconds()) / 1000
 	s.metrics.InFlight.Add(-1)
 	am.LatencyMsSum.Add(elapsed)
 
+	res, _ := val.Data.(algo.RunResult)
 	resp := queryResponse{
 		Graph: name, Algo: runner.Name,
 		Summary: res.Summary, Details: sanitizeDetails(res.Details), ElapsedMs: elapsed,
+		Cached: how.Cached, Coalesced: how.Coalesced, Procs: how.Procs,
 	}
 	var pe *parallel.PanicError
 	var re *algo.RoundError
@@ -346,6 +350,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// estimateResultBytes approximates a RunResult's heap footprint for the
+// result cache's byte budget: the summary string plus each detail's key
+// and boxed scalar value.
+func estimateResultBytes(res algo.RunResult) int64 {
+	b := int64(len(res.Summary))
+	for k := range res.Details {
+		b += int64(len(k)) + 48
+	}
+	return b
+}
+
 // sanitizeDetails renders non-finite floats as strings, which
 // encoding/json cannot represent (a partial PageRank result, for
 // example, reports an +Inf L1 change).
@@ -363,7 +378,7 @@ func sanitizeDetails(d map[string]any) map[string]any {
 // any panic on the query goroutine itself (including re-panics from
 // non-cancellable algorithms) is converted to one here, so a bad query
 // can never take down the process.
-func safeRun(runner algo.Runner, ctx context.Context, g graph.View, p algo.RunParams) (res algo.RunResult, err error) {
+func safeRun(runner algo.Runner, ctx context.Context, g graph.View, p algo.Params) (res algo.RunResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if pe, ok := r.(*parallel.PanicError); ok {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ligra/internal/core"
+	"ligra/internal/server/engine"
 )
 
 // Metrics is the server's counter set, built from expvar's atomic types
@@ -79,6 +80,10 @@ type Snapshot struct {
 	Algos         map[string]AlgoSnapshot `json:"algos"`
 	Graphs        []GraphInfo             `json:"graphs"`
 	GraphBytes    int64                   `json:"graph_bytes_total"`
+	// Query is the query engine's counter set: result-cache
+	// hits/misses/evictions and footprint, coalesced query counts, and
+	// parallelism-governor slot occupancy.
+	Query engine.Stats `json:"query_engine"`
 	// Traversal is the process-wide edgeMap counter set (calls, the
 	// sparse/dense decision split, frontier sizes, edges weighed), so the
 	// direction-optimization behaviour of served queries is observable.
@@ -86,8 +91,8 @@ type Snapshot struct {
 }
 
 // Snapshot captures every counter plus the registry's per-graph memory
-// estimates.
-func (m *Metrics) Snapshot(reg *Registry) Snapshot {
+// estimates and the query engine's counters (eng may be nil).
+func (m *Metrics) Snapshot(reg *Registry, eng *engine.Engine) Snapshot {
 	s := Snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		InFlight:      m.InFlight.Value(),
@@ -111,6 +116,9 @@ func (m *Metrics) Snapshot(reg *Registry) Snapshot {
 		for _, info := range s.Graphs {
 			s.GraphBytes += info.MemoryBytes
 		}
+	}
+	if eng != nil {
+		s.Query = eng.Snapshot()
 	}
 	s.Traversal = core.SnapshotStats()
 	return s

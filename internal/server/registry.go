@@ -48,6 +48,11 @@ type GraphInfo struct {
 	// DefaultSource is the highest-out-degree vertex, used when a query
 	// does not name a source.
 	DefaultSource uint32 `json:"default_source"`
+	// Generation counts how many times this name has been (re)loaded; it
+	// survives eviction, so a replaced graph always carries a higher
+	// generation than the one it displaced. Result-cache keys include it,
+	// which is what makes a cached result provably from this residency.
+	Generation uint64 `json:"generation"`
 }
 
 type regEntry struct {
@@ -66,11 +71,15 @@ type regEntry struct {
 type Registry struct {
 	mu      sync.Mutex
 	entries map[string]*regEntry
+	// gens is the per-name load counter behind GraphInfo.Generation. It
+	// is never deleted from — an evicted name keeps its counter so a
+	// reload gets a strictly larger generation.
+	gens map[string]uint64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{entries: make(map[string]*regEntry)}
+	return &Registry{entries: make(map[string]*regEntry), gens: make(map[string]uint64)}
 }
 
 // Load registers name, building the graph with build if it is not already
@@ -89,8 +98,10 @@ func (r *Registry) Load(ctx context.Context, name, source string, build func() (
 		}
 		return r.wait(ctx, e)
 	}
+	r.gens[name]++
+	gen := r.gens[name]
 	e := &regEntry{ready: make(chan struct{}), source: source}
-	e.info = GraphInfo{Name: name, Source: source, Loading: true}
+	e.info = GraphInfo{Name: name, Source: source, Loading: true, Generation: gen}
 	r.entries[name] = e
 	r.mu.Unlock()
 
@@ -108,11 +119,19 @@ func (r *Registry) Load(ctx context.Context, name, source string, build func() (
 		return GraphInfo{}, e.err
 	}
 	e.g = g
-	e.info = describe(name, source, g)
-	e.info.LoadedAt = start
-	e.info.LoadMillis = float64(time.Since(start).Microseconds()) / 1000
+	info := describe(name, source, g)
+	info.Generation = gen
+	info.LoadedAt = start
+	info.LoadMillis = float64(time.Since(start).Microseconds()) / 1000
+	// Publish the final info under the registry lock: List reads e.info
+	// of still-loading entries (the Loading placeholder), so this write
+	// must be synchronized with those reads, not just with the ready
+	// channel's close.
+	r.mu.Lock()
+	e.info = info
+	r.mu.Unlock()
 	close(e.ready)
-	return e.info, nil
+	return info, nil
 }
 
 // wait blocks until e settles or ctx is done.
@@ -156,21 +175,15 @@ func (r *Registry) Evict(name string) bool {
 // List returns every registered graph (including in-flight loads, marked
 // Loading) sorted by name.
 func (r *Registry) List() []GraphInfo {
+	// e.info is either the Loading placeholder or the final description;
+	// both are published under r.mu, so one locked pass copies them
+	// race-free (a still-loading entry simply lists as its placeholder).
 	r.mu.Lock()
-	entries := make([]*regEntry, 0, len(r.entries))
+	infos := make([]GraphInfo, 0, len(r.entries))
 	for _, e := range r.entries {
-		entries = append(entries, e)
+		infos = append(infos, e.info)
 	}
 	r.mu.Unlock()
-	infos := make([]GraphInfo, len(entries))
-	for i, e := range entries {
-		select {
-		case <-e.ready:
-			infos[i] = e.info
-		default:
-			infos[i] = e.info // the Loading placeholder
-		}
-	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	return infos
 }

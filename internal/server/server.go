@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"ligra/internal/server/engine"
 )
 
 // Config parameterizes a Server.
@@ -25,6 +27,13 @@ type Config struct {
 	// MaxTimeout caps the per-query timeout_ms a client may request; 0
 	// selects 60s.
 	MaxTimeout time.Duration
+	// CacheBytes bounds the query result cache's estimated footprint; 0
+	// disables result caching (single-flight coalescing stays on).
+	CacheBytes int64
+	// MaxQueryProcs caps the worker goroutines one query may lease from
+	// the parallelism governor; 0 selects GOMAXPROCS (a lone query still
+	// uses the whole machine; concurrent queries share it).
+	MaxQueryProcs int
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -53,6 +62,7 @@ type Server struct {
 	log      *slog.Logger
 	reg      *Registry
 	metrics  *Metrics
+	engine   *engine.Engine
 	sem      chan struct{}
 	draining atomic.Bool
 
@@ -75,7 +85,9 @@ func New(cfg Config) *Server {
 		log:     logger,
 		reg:     NewRegistry(),
 		metrics: NewMetrics(),
-		sem:     make(chan struct{}, cfg.maxConcurrent()),
+		engine: engine.New(engine.NewCache(cfg.CacheBytes),
+			engine.NewGovernor(runtime.GOMAXPROCS(0), cfg.MaxQueryProcs)),
+		sem: make(chan struct{}, cfg.maxConcurrent()),
 	}
 	s.baseCtx, s.cancelInflight = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
@@ -89,6 +101,9 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Metrics exposes the counter set.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Engine exposes the query engine (cache + coalescer + governor).
+func (s *Server) Engine() *engine.Engine { return s.engine }
 
 // Handler returns the root handler: the API mux wrapped in request
 // logging.
