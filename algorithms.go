@@ -215,7 +215,15 @@ func LocalCluster(g View, seed uint32, alpha, eps float64) (*SweepCutResult, err
 
 // SetParallelism overrides the number of worker goroutines used by all
 // parallel primitives (p <= 0 restores the GOMAXPROCS default). It returns
-// the previous override. Used by the scalability experiments.
+// the previous override.
+//
+// Deprecated: the override is process-wide, so in any program running
+// computations concurrently (a server, a benchmark sweep) one caller's
+// setting leaks into every other. Cap parallelism per computation instead:
+// pass the *Ctx entry points a context from WithParallelism, or set
+// Options.Procs — both become per-call worker leases that compose as
+// min(cap, Parallelism()). SetParallelism remains only for single-tenant
+// programs that genuinely want a process-wide default.
 func SetParallelism(p int) int { return parallel.SetProcs(p) }
 
 // Parallelism reports the current worker count.

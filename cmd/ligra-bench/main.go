@@ -12,6 +12,9 @@
 //	dedup         sparse-frontier duplicate-removal strategies
 //	bucketing     Julienne bucketing ablation
 //	hotpath       edgeMap hot-path timings (the BENCH_baseline.json suite)
+//	servecache    query-engine result cache off vs on
+//	scheduler     worker-pool scheduler: small-round workloads with the
+//	              sequential cutoff on vs off
 //	all           everything above, in order
 //
 // -json writes a machine-readable report; -against FILE compares the
@@ -38,6 +41,7 @@ import (
 
 	"ligra/internal/bench"
 	"ligra/internal/core"
+	"ligra/internal/parallel"
 )
 
 // regressionTolerance is the -against warning threshold: measurements more
@@ -58,7 +62,7 @@ func run(args []string, stdout io.Writer) error {
 		experiment = fs.String("experiment", "all", "experiment ID or 'all': "+strings.Join(bench.ExperimentOrder(), " | "))
 		scale      = fs.Int("scale", 14, "synthetic graph scale (~2^scale vertices)")
 		rounds     = fs.Int("rounds", 3, "timed repetitions per measurement (median reported)")
-		maxProcs   = fs.Int("maxprocs", 0, "largest worker count in the scalability sweep (0 = 2*GOMAXPROCS)")
+		maxProcs   = fs.Int("maxprocs", 0, "largest worker count in the scalability sweep (0 = GOMAXPROCS; per-call leases clamp at GOMAXPROCS)")
 		budget     = fs.Duration("budget", 0, "wall-clock budget for the whole run (0 = none); experiments stop between measurements when it expires and report partial tables")
 		jsonPath   = fs.String("json", "", "also write machine-readable results (per-measurement times, traversal counters, graph sizes, GOMAXPROCS) to this path")
 		against    = fs.String("against", "", "baseline JSON report to compare this run to; warns when a measurement is >10% slower")
@@ -99,6 +103,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	exps := bench.Experiments()
 	statsBefore := core.SnapshotStats()
+	schedBefore := parallel.SchedulerSnapshot()
 	var timings []bench.JSONExperiment
 	for i, id := range ids {
 		runExp, ok := exps[id]
@@ -123,6 +128,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "[%s completed in %v]\n", id, dur.Round(time.Millisecond))
 	}
 	traversal := core.SnapshotStats().Sub(statsBefore)
+	scheduler := parallel.SchedulerSnapshot().Sub(schedBefore)
 	report := &bench.JSONReport{
 		Timestamp:    time.Now().Format(time.RFC3339),
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
@@ -131,6 +137,7 @@ func run(args []string, stdout io.Writer) error {
 		Experiments:  timings,
 		Measurements: measurements,
 		Traversal:    &traversal,
+		Scheduler:    &scheduler,
 	}
 	if *jsonPath != "" {
 		graphs, err := bench.SuiteInfo(*scale)

@@ -71,15 +71,11 @@ func run(args []string, stdout io.Writer) error {
 		trace     = fs.Bool("trace", false, "print the per-round edgeMap trace")
 		stats     = fs.Bool("stats", false, "print per-round dense/sparse decisions and the aggregate traversal counters")
 		compressG = fs.Bool("compress", false, "run on the Ligra+ byte-compressed representation")
-		procs     = fs.Int("procs", 0, "worker goroutines (0 = GOMAXPROCS)")
+		procs     = fs.Int("procs", 0, "cap the computation's worker goroutines via a per-call lease (0 = no cap; caps at GOMAXPROCS, never raises)")
 		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the computation (0 = none); on expiry the algorithm stops cooperatively, its partial result is reported, and the exit status is 2")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
-	}
-	if *procs > 0 {
-		prev := ligra.SetParallelism(*procs)
-		defer ligra.SetParallelism(prev)
 	}
 
 	runner, ok := algo.FindRunner(*algoName)
@@ -136,8 +132,14 @@ func run(args []string, stdout io.Writer) error {
 		defer cancel()
 		ctx = c
 	}
+	if *procs > 0 {
+		// A per-call lease, not the deprecated process-wide
+		// SetParallelism: only this computation is capped.
+		ctx = ligra.WithParallelism(ctx, *procs)
+	}
 	params.Source = src
 	statsBefore := ligra.SnapshotTraversalStats()
+	schedBefore := ligra.SnapshotSchedulerStats()
 	var best time.Duration
 	var res algo.RunResult
 	var interruptErr error
@@ -183,10 +185,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *stats {
 		d := ligra.SnapshotTraversalStats().Sub(statsBefore)
-		fmt.Fprintf(stdout, "traversal stats: calls=%d sparse=%d dense=%d dense-forward=%d\n",
-			d.Calls, d.Sparse, d.Dense, d.DenseForward)
+		fmt.Fprintf(stdout, "traversal stats: calls=%d sparse=%d dense=%d dense-forward=%d seq-rounds=%d\n",
+			d.Calls, d.Sparse, d.Dense, d.DenseForward, d.SeqRounds)
 		fmt.Fprintf(stdout, "                 frontier-vertices=%d output-vertices=%d edges-weighed=%d\n",
 			d.FrontierVertices, d.OutputVertices, d.EdgesScanned)
+		s := ligra.SnapshotSchedulerStats().Sub(schedBefore)
+		fmt.Fprintf(stdout, "scheduler: dispatches=%d inline=%d cutoff=%d parks=%d wakes=%d pool-workers=%d\n",
+			s.Dispatches, s.InlineRuns, s.CutoffRuns, s.Parks, s.Wakes, s.PoolWorkers)
 	}
 	if interruptErr != nil {
 		fmt.Fprintln(stdout, "status: timeout (exit 2)")

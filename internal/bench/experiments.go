@@ -20,8 +20,9 @@ type Config struct {
 	// Rounds is the number of timed repetitions (median reported).
 	Rounds int
 	// MaxProcs caps the worker counts swept by the scalability
-	// experiment; 0 means up to 2*GOMAXPROCS (oversubscription shows the
-	// flat tail on small machines).
+	// experiment; 0 means up to parallel.Procs(). Sweeps ride per-call
+	// ctx leases, which clamp at the machine's worker count, so values
+	// above it are reduced rather than oversubscribing.
 	MaxProcs int
 	// Deadline, when non-zero, is a wall-clock budget for the whole run:
 	// experiments check it between measurements, skip the remainder, and
@@ -126,11 +127,14 @@ func Table2(cfg Config) error {
 			}
 			tSeq := Measure(cfg.rounds(), func() { app.RunSeq(g) })
 
-			prev := parallel.SetProcs(1)
-			t1 := Measure(cfg.rounds(), func() { app.Run(g, core.Options{}) })
-			parallel.SetProcs(fullP)
+			// Worker counts ride per-call ctx leases (Options.Procs →
+			// parallel.WithProcs), never the global SetProcs: the sweep
+			// must not leak its cap into anything running concurrently.
+			// The lease caps every ctx-aware loop of the run; the few
+			// plain init loops (array fills) stay at full parallelism,
+			// which only flatters the (1) column negligibly.
+			t1 := Measure(cfg.rounds(), func() { app.Run(g, core.Options{Procs: 1}) })
 			tP := Measure(cfg.rounds(), func() { app.Run(g, core.Options{}) })
-			parallel.SetProcs(prev)
 
 			fmt.Fprintf(w, "%s\t%s\t%.4f\t%.4f\t%.4f\t%.2fx\n",
 				in.Name, app.Name,
@@ -153,9 +157,15 @@ func Scalability(cfg Config) error {
 	if err != nil {
 		return err
 	}
+	// The sweep runs each worker count as a per-call ctx lease
+	// (Options.Procs), not a global SetProcs: leases compose as
+	// min(Procs(), cap), so counts above the machine's worker pool are
+	// clamped — oversubscribing a persistent pool is meaningless, unlike
+	// the old spawn-per-call runtime where extra goroutines could be
+	// created on demand.
 	maxP := cfg.MaxProcs
-	if maxP <= 0 {
-		maxP = 2 * parallel.Procs()
+	if maxP <= 0 || maxP > parallel.Procs() {
+		maxP = parallel.Procs()
 	}
 	var procsList []int
 	for p := 1; p <= maxP; p *= 2 {
@@ -179,9 +189,8 @@ func Scalability(cfg Config) error {
 		}
 		row := app.Name
 		for _, p := range procsList {
-			prev := parallel.SetProcs(p)
-			tm := Measure(cfg.rounds(), func() { app.Run(g, core.Options{}) })
-			parallel.SetProcs(prev)
+			opts := core.Options{Procs: p}
+			tm := Measure(cfg.rounds(), func() { app.Run(g, opts) })
 			row += fmt.Sprintf("\t%.4f", tm.Median.Seconds())
 		}
 		fmt.Fprintln(w, row)
@@ -484,10 +493,11 @@ func Experiments() map[string]func(Config) error {
 		"bucketing":    BucketingAblation,
 		"hotpath":      HotPath,
 		"servecache":   ServeCache,
+		"scheduler":    Scheduler,
 	}
 }
 
 // ExperimentOrder lists the IDs in presentation order.
 func ExperimentOrder() []string {
-	return []string{"table1", "table2", "scalability", "frontier", "threshold", "denseforward", "compress", "dedup", "bucketing", "hotpath", "servecache"}
+	return []string{"table1", "table2", "scalability", "frontier", "threshold", "denseforward", "compress", "dedup", "bucketing", "hotpath", "servecache", "scheduler"}
 }

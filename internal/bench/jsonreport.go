@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"ligra/internal/core"
+	"ligra/internal/parallel"
 )
 
 // JSONReport is the machine-readable result file ligra-bench -json
@@ -36,6 +37,10 @@ type JSONReport struct {
 	// sparse vs dense and how many frontier out-edges the heuristic
 	// weighed.
 	Traversal *core.StatsSnapshot `json:"traversal,omitempty"`
+	// Scheduler is the worker-pool counter delta across the run
+	// (parallel.SchedulerSnapshot): pool dispatches versus inline runs
+	// (including the sequential cutoff) and worker park/wake counts.
+	Scheduler *parallel.SchedulerStats `json:"scheduler,omitempty"`
 }
 
 // JSONGraph is one input graph's size record.

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"runtime/debug"
 
+	"ligra/internal/faultinject"
 	"ligra/internal/graph"
 	"ligra/internal/parallel"
 )
@@ -101,7 +103,7 @@ func EdgeMapDataCtx[T any](ctx context.Context, g graph.View, u *VertexSubset, f
 		}
 	}
 	if u.IsEmpty() {
-		globalStats.record(0, 0, false, false, 0)
+		globalStats.record(0, 0, false, false, false, 0)
 		return NewDataSubset[T](n, nil), nil
 	}
 
@@ -121,7 +123,10 @@ func EdgeMapDataCtx[T any](ctx context.Context, g graph.View, u *VertexSubset, f
 		dense = true
 	}
 	var out *DataSubset[T]
-	if dense {
+	seq := !dense && seqBypass(opts, int64(u.Size())+outDeg)
+	if seq {
+		out, err = edgeMapDataSparseSeq(ctx, g, u, f, opts)
+	} else if dense {
 		out, err = edgeMapDataDense(ctx, g, u, f, opts)
 	} else {
 		out, err = edgeMapDataSparse(ctx, g, u, f, opts)
@@ -129,8 +134,57 @@ func EdgeMapDataCtx[T any](ctx context.Context, g graph.View, u *VertexSubset, f
 	if err != nil {
 		return nil, err
 	}
-	globalStats.record(u.Size(), outDeg, dense, false, out.Size())
+	globalStats.record(u.Size(), outDeg, dense, false, seq, out.Size())
 	return out, nil
+}
+
+// edgeMapDataSparseSeq is the sequential small-round bypass for
+// EdgeMapData (see edgeMapSparseSeq): same winning-pair output in
+// frontier edge order and same dedup semantics as edgeMapDataSparse,
+// with no slot allocation, scan, or dispatch.
+func edgeMapDataSparseSeq[T any](ctx context.Context, g graph.View, u *VertexSubset, f EdgeDataFuncs[T], opts Options) (out *DataSubset[T], err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*parallel.PanicError); ok {
+				err = pe
+				return
+			}
+			err = &parallel.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	faultinject.OnChunk()
+	n := g.NumVertices()
+	ids := u.ToSparse()
+	update := f.UpdateAtomic
+	if update == nil {
+		update = f.Update
+	}
+	cond := f.Cond
+	var pairs []Pair[T]
+	for _, s := range ids {
+		g.OutNeighbors(s, func(d uint32, w int32) bool {
+			if cond == nil || cond(d) {
+				if val, ok := update(s, d, w); ok {
+					pairs = append(pairs, Pair[T]{V: d, Val: val})
+				}
+			}
+			return true
+		})
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if opts.RemoveDuplicates && len(pairs) > 1 {
+		pairs = dedupPairs(n, pairs)
+	}
+	return NewDataSubset(n, pairs), nil
 }
 
 // edgeMapDataSparse pushes over the frontier's out-edges, gathering

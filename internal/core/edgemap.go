@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math/bits"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,6 +95,16 @@ type Options struct {
 	// the machine (see parallel.WithProcs); 0 inherits the cap already on
 	// the context, if any.
 	Procs int
+	// SeqCutoff tunes the sequential small-round bypass: a round whose
+	// total estimated work |U| + outDegrees(U) is at or below the cutoff
+	// (and that the direction heuristic sends sparse) runs entirely on
+	// the calling goroutine, with none of the chunk/dispatch machinery.
+	// This is the common case for the long frontier tails of BFS and
+	// BellmanFord on high-diameter graphs, where a round touches a
+	// handful of edges. 0 selects DefaultSeqCutoff; a negative value
+	// disables the bypass. Bypassed rounds are counted in
+	// TraversalStats.SeqRounds.
+	SeqCutoff int64
 }
 
 // resolveCtx merges the explicit ctx argument with the options: the
@@ -113,6 +124,13 @@ func (o Options) resolveCtx(ctx context.Context) context.Context {
 // DefaultThresholdDenominator is the paper's frontier-size switch constant:
 // edgeMap goes dense when |U| + outDegrees(U) > |E|/20.
 const DefaultThresholdDenominator = 20
+
+// DefaultSeqCutoff is the default Options.SeqCutoff: sparse rounds with
+// |U| + outDegrees(U) at or below this run sequentially. Roughly a
+// thousand cheap per-edge updates cost less than one scheduler dispatch
+// plus the per-worker buffer and reassembly machinery of the parallel
+// sparse path.
+const DefaultSeqCutoff = 1024
 
 // TraceEntry records one EdgeMap invocation for the fig-frontier
 // experiment.
@@ -195,7 +213,7 @@ func EdgeMapCtx(ctx context.Context, g graph.View, u *VertexSubset, f EdgeFuncs,
 	start := time.Now()
 	if u.IsEmpty() {
 		out := NewEmpty(n)
-		globalStats.record(0, 0, false, false, 0)
+		globalStats.record(0, 0, false, false, false, 0)
 		traceRecord(opts.Trace, u, 0, false, false, out, start)
 		return out, nil
 	}
@@ -217,7 +235,10 @@ func EdgeMapCtx(ctx context.Context, g graph.View, u *VertexSubset, f EdgeFuncs,
 	}
 
 	var out *VertexSubset
-	if dense {
+	seq := !dense && seqBypass(opts, int64(u.Size())+outDeg)
+	if seq {
+		out, err = edgeMapSparseSeq(ctx, g, u, f, opts)
+	} else if dense {
 		if opts.DenseForward {
 			out, err = edgeMapDenseForward(ctx, g, u, f, opts)
 		} else {
@@ -229,9 +250,25 @@ func EdgeMapCtx(ctx context.Context, g graph.View, u *VertexSubset, f EdgeFuncs,
 	if err != nil {
 		return nil, err
 	}
-	globalStats.record(u.Size(), outDeg, dense, dense && opts.DenseForward, out.Size())
+	globalStats.record(u.Size(), outDeg, dense, dense && opts.DenseForward, seq, out.Size())
 	traceRecord(opts.Trace, u, outDeg, dense, dense && opts.DenseForward, out, start)
 	return out, nil
+}
+
+// seqBypass decides whether a round the heuristic already sent sparse is
+// small enough to run sequentially. total is |U| + outDegrees(U) as
+// weighed by the direction heuristic; because the heuristic's degree scan
+// short-circuits only after exceeding the dense threshold, a capped
+// (partial) sum can under-report total only when it already exceeds the
+// threshold — and for any graph where the threshold is at least the
+// cutoff, such a round fails the comparison anyway, so the bypass never
+// mistakes a large round for a small one beyond tiny-graph noise.
+func seqBypass(opts Options, total int64) bool {
+	cutoff := opts.SeqCutoff
+	if cutoff == 0 {
+		cutoff = DefaultSeqCutoff
+	}
+	return cutoff > 0 && total <= cutoff
 }
 
 func traceRecord(t *Trace, u *VertexSubset, outDeg int64, dense, fwd bool, out *VertexSubset, start time.Time) {
@@ -442,6 +479,81 @@ func edgeMapSparse(ctx context.Context, g graph.View, u *VertexSubset, f EdgeFun
 	return NewSparse(n, outIDs), nil
 }
 
+// edgeMapSparseSeq is the sequential small-round bypass: the same push
+// traversal and output contract as edgeMapSparse — successes in frontier
+// edge order, identical dedup semantics — but run entirely on the calling
+// goroutine. Rounds this small (see Options.SeqCutoff) are dominated by
+// dispatch and reassembly cost, not edge work; here the only per-round
+// overhead is one output slice. Panic containment matches the parallel
+// path (*parallel.PanicError), cancellation is observed once on entry and
+// once on return (the whole round is smaller than one parallel chunk),
+// and the fault-injection chunk hook fires once so injection tests reach
+// this path too.
+func edgeMapSparseSeq(ctx context.Context, g graph.View, u *VertexSubset, f EdgeFuncs, opts Options) (out *VertexSubset, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*parallel.PanicError); ok {
+				err = pe
+				return
+			}
+			err = &parallel.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	faultinject.OnChunk()
+	n := g.NumVertices()
+	ids := u.ToSparse()
+	update := f.UpdateAtomic
+	if update == nil {
+		update = f.Update
+	}
+	cond := f.Cond
+	csr, _ := g.(*graph.Graph)
+	var outIDs []uint32
+	noOutput := opts.NoOutput
+	for _, s := range ids {
+		if csr != nil {
+			row, wts := csr.OutEdgesSlice(s)
+			for j, d := range row {
+				w := int32(1)
+				if wts != nil {
+					w = wts[j]
+				}
+				if (cond == nil || cond(d)) && update(s, d, w) && !noOutput {
+					outIDs = append(outIDs, d)
+				}
+			}
+			continue
+		}
+		g.OutNeighbors(s, func(d uint32, w int32) bool {
+			if (cond == nil || cond(d)) && update(s, d, w) && !noOutput {
+				outIDs = append(outIDs, d)
+			}
+			return true
+		})
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if noOutput {
+		return NewEmpty(n), nil
+	}
+	if opts.RemoveDuplicates && len(outIDs) > 1 {
+		if opts.Dedup == DedupHash {
+			outIDs = removeDuplicatesHash(outIDs)
+		} else {
+			outIDs = removeDuplicates(n, outIDs)
+		}
+	}
+	return NewSparse(n, outIDs), nil
+}
+
 // DedupStrategy selects how RemoveDuplicates deduplicates the sparse
 // output frontier.
 type DedupStrategy int
@@ -486,9 +598,13 @@ func removeDuplicates(n int, ids []uint32) []uint32 {
 	out := parallel.FilterIndex(ids, func(i int, d uint32) bool {
 		return scratch[d] == uint32(i)
 	})
-	// Restore the all-None invariant before pooling.
-	parallel.For(len(ids), func(i int) {
-		scratch[ids[i]] = None
+	// Restore the all-None invariant before pooling. Restore over the
+	// deduplicated output, not ids: out holds every distinct ID exactly
+	// once, so each slot has a single writer (ids would have two workers
+	// racing plain stores on duplicate entries) and the loop does less
+	// work.
+	parallel.For(len(out), func(i int) {
+		scratch[out[i]] = None
 	})
 	putScratch(scratch)
 	return out

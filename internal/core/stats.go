@@ -16,6 +16,7 @@ import "sync/atomic"
 // All methods are safe for concurrent use.
 type TraversalStats struct {
 	calls, sparse, dense, denseForward atomic.Int64
+	seqRounds                          atomic.Int64
 	frontierVertices                   atomic.Int64
 	outputVertices                     atomic.Int64
 	edgesScanned                       atomic.Int64
@@ -24,7 +25,7 @@ type TraversalStats struct {
 // globalStats collects across every traversal in the process.
 var globalStats TraversalStats
 
-func (t *TraversalStats) record(frontier int, outDeg int64, dense, fwd bool, output int) {
+func (t *TraversalStats) record(frontier int, outDeg int64, dense, fwd, seq bool, output int) {
 	t.calls.Add(1)
 	switch {
 	case dense && fwd:
@@ -33,6 +34,9 @@ func (t *TraversalStats) record(frontier int, outDeg int64, dense, fwd bool, out
 		t.dense.Add(1)
 	default:
 		t.sparse.Add(1)
+	}
+	if seq {
+		t.seqRounds.Add(1)
 	}
 	t.frontierVertices.Add(int64(frontier))
 	t.outputVertices.Add(int64(output))
@@ -50,6 +54,13 @@ type StatsSnapshot struct {
 	Sparse       int64 `json:"sparse"`
 	Dense        int64 `json:"dense"`
 	DenseForward int64 `json:"dense_forward"`
+	// SeqRounds counts the calls taken by the sequential small-round
+	// bypass: sparse rounds whose |U| + outDegrees(U) fell at or below
+	// Options.SeqCutoff and ran entirely on the calling goroutine with
+	// zero scheduler dispatch. Every such round is also counted in
+	// Sparse (the bypass is an execution strategy, not a representation),
+	// so the Sparse+Dense+DenseForward = Calls invariant is unchanged.
+	SeqRounds int64 `json:"seq_rounds"`
 	// FrontierVertices sums the input frontier sizes (|U| per call).
 	FrontierVertices int64 `json:"frontier_vertices"`
 	// OutputVertices sums the output frontier sizes.
@@ -68,6 +79,7 @@ func SnapshotStats() StatsSnapshot {
 		Sparse:           globalStats.sparse.Load(),
 		Dense:            globalStats.dense.Load(),
 		DenseForward:     globalStats.denseForward.Load(),
+		SeqRounds:        globalStats.seqRounds.Load(),
 		FrontierVertices: globalStats.frontierVertices.Load(),
 		OutputVertices:   globalStats.outputVertices.Load(),
 		EdgesScanned:     globalStats.edgesScanned.Load(),
@@ -81,6 +93,7 @@ func ResetStats() {
 	globalStats.sparse.Store(0)
 	globalStats.dense.Store(0)
 	globalStats.denseForward.Store(0)
+	globalStats.seqRounds.Store(0)
 	globalStats.frontierVertices.Store(0)
 	globalStats.outputVertices.Store(0)
 	globalStats.edgesScanned.Store(0)
@@ -95,6 +108,7 @@ func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
 		Sparse:           s.Sparse - prev.Sparse,
 		Dense:            s.Dense - prev.Dense,
 		DenseForward:     s.DenseForward - prev.DenseForward,
+		SeqRounds:        s.SeqRounds - prev.SeqRounds,
 		FrontierVertices: s.FrontierVertices - prev.FrontierVertices,
 		OutputVertices:   s.OutputVertices - prev.OutputVertices,
 		EdgesScanned:     s.EdgesScanned - prev.EdgesScanned,

@@ -4,8 +4,6 @@ import (
 	"context"
 	"runtime"
 	"runtime/debug"
-	"sync"
-	"sync/atomic"
 
 	"ligra/internal/faultinject"
 )
@@ -50,7 +48,10 @@ func ForRangeCtx(ctx context.Context, n int, body func(lo, hi int)) error {
 }
 
 // ForRangeGrainCtx is the context-aware ForRangeGrain and the engine
-// behind every parallel loop in the package.
+// behind every parallel loop in the package. Work is dispatched onto
+// the persistent worker pool (see pool.go) — no goroutines are spawned
+// per call — unless the loop runs inline: procs == 1, a single chunk,
+// or an auto-grain loop small enough for the sequential cutoff.
 func ForRangeGrainCtx(ctx context.Context, n, grain int, body func(lo, hi int)) error {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
@@ -61,11 +62,16 @@ func ForRangeGrainCtx(ctx context.Context, n, grain int, body func(lo, hi int)) 
 		return nil
 	}
 	procs := CtxProcs(ctx)
-	if grain <= 0 {
+	auto := grain <= 0
+	if auto {
 		grain = defaultGrain(n, procs)
 	}
 	chunks := (n + grain - 1) / grain
-	if procs == 1 || chunks == 1 {
+	if procs == 1 || chunks == 1 || (auto && n <= seqCutoff) {
+		schedStats.inlineRuns.Add(1)
+		if procs > 1 && chunks > 1 {
+			schedStats.cutoffRuns.Add(1)
+		}
 		if ctx == nil {
 			// No cancellation to observe: run as one chunk, preserving the
 			// plain primitives' zero per-chunk overhead.
@@ -73,58 +79,9 @@ func ForRangeGrainCtx(ctx context.Context, n, grain int, body func(lo, hi int)) 
 		}
 		return forSeq(ctx, n, grain, chunks, body)
 	}
-	workers := procs
-	if workers > chunks {
-		workers = chunks
-	}
-	// On a single-P runtime the cancelling goroutine (deadline timer,
-	// signal handler) only runs when a worker yields; see forSeq.
-	yield := ctx != nil && runtime.GOMAXPROCS(0) == 1
-
-	var next atomic.Int64
-	var box panicBox
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			defer box.capture()
-			for {
-				if box.stopped.Load() {
-					return
-				}
-				if ctx != nil {
-					if yield {
-						runtime.Gosched()
-					}
-					if ctx.Err() != nil {
-						return
-					}
-				}
-				c := int(next.Add(1) - 1)
-				if c >= chunks {
-					return
-				}
-				faultinject.OnChunk()
-				lo := c * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
-	if box.err != nil {
-		return box.err
-	}
-	if ctx != nil {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return runParallel(ctx, n, grain, chunks, procs, func(_, _, lo, hi int) {
+		body(lo, hi)
+	})
 }
 
 // forSeq runs the loop on the calling goroutine, still honouring chunk
@@ -164,39 +121,35 @@ func forSeq(ctx context.Context, n, grain, chunks int, body func(lo, hi int)) (e
 
 // DoCtx is the context-aware Do: thunks observed after cancellation are
 // skipped (already-running ones complete), and a panic in any thunk is
-// returned as a *PanicError.
+// returned as a *PanicError. Thunks are dispatched onto the persistent
+// worker pool; the caller always executes at least the first one.
 func DoCtx(ctx context.Context, thunks ...func()) error {
 	if len(thunks) == 0 {
 		return ctxErr(ctx)
 	}
-	var box panicBox
-	run := func(t func()) {
-		defer box.capture()
-		if box.stopped.Load() || (ctx != nil && ctx.Err() != nil) {
-			return
-		}
-		t()
-	}
-	if CtxProcs(ctx) == 1 || len(thunks) == 1 {
+	procs := CtxProcs(ctx)
+	if procs == 1 || len(thunks) == 1 {
+		schedStats.inlineRuns.Add(1)
+		var box panicBox
 		for _, t := range thunks {
-			run(t)
+			func() {
+				defer box.capture()
+				if box.stopped.Load() || (ctx != nil && ctx.Err() != nil) {
+					return
+				}
+				t()
+			}()
 		}
-	} else {
-		var wg sync.WaitGroup
-		wg.Add(len(thunks) - 1)
-		for _, t := range thunks[1:] {
-			go func(t func()) {
-				defer wg.Done()
-				run(t)
-			}(t)
+		if box.err != nil {
+			return box.err
 		}
-		run(thunks[0])
-		wg.Wait()
+		return ctxErr(ctx)
 	}
-	if box.err != nil {
-		return box.err
-	}
-	return ctxErr(ctx)
+	// One chunk per thunk; the pool's chunk loop provides the stop-on-
+	// panic and skip-after-cancellation semantics.
+	return runParallel(ctx, len(thunks), 1, len(thunks), procs, func(_, c, _, _ int) {
+		thunks[c]()
+	})
 }
 
 // ReduceCtx is the context-aware Reduce.

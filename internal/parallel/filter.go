@@ -24,7 +24,7 @@ func FilterIndex[T any](in []T, pred func(i int, v T) bool) []T {
 		return out
 	}
 	counts := make([]int, blocks)
-	For(blocks, func(b int) {
+	ForGrain(blocks, 1, func(b int) {
 		lo, hi := blockBounds(n, blocks, b)
 		c := 0
 		for i := lo; i < hi; i++ {
@@ -36,7 +36,7 @@ func FilterIndex[T any](in []T, pred func(i int, v T) bool) []T {
 	})
 	total := ScanExclusive(counts, counts)
 	out := make([]T, total)
-	For(blocks, func(b int) {
+	ForGrain(blocks, 1, func(b int) {
 		lo, hi := blockBounds(n, blocks, b)
 		k := counts[b]
 		for i := lo; i < hi; i++ {
@@ -67,7 +67,7 @@ func PackIndex[T Number](n int, flag func(i int) bool) []T {
 		return out
 	}
 	counts := make([]int, blocks)
-	For(blocks, func(b int) {
+	ForGrain(blocks, 1, func(b int) {
 		lo, hi := blockBounds(n, blocks, b)
 		c := 0
 		for i := lo; i < hi; i++ {
@@ -79,7 +79,7 @@ func PackIndex[T Number](n int, flag func(i int) bool) []T {
 	})
 	total := ScanExclusive(counts, counts)
 	out := make([]T, total)
-	For(blocks, func(b int) {
+	ForGrain(blocks, 1, func(b int) {
 		lo, hi := blockBounds(n, blocks, b)
 		k := counts[b]
 		for i := lo; i < hi; i++ {

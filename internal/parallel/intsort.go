@@ -43,7 +43,7 @@ func CountingSortByKey[T any](in, out []T, buckets int, key func(T) int) []int64
 
 	// counts[b*buckets + k] = occurrences of key k in block b.
 	counts := make([]int64, blocks*buckets)
-	For(blocks, func(b int) {
+	ForGrain(blocks, 1, func(b int) {
 		lo, hi := blockBounds(n, blocks, b)
 		row := counts[b*buckets : (b+1)*buckets]
 		for i := lo; i < hi; i++ {
@@ -61,7 +61,7 @@ func CountingSortByKey[T any](in, out []T, buckets int, key func(T) int) []int64
 		}
 	}
 	offsets[buckets] = acc
-	For(blocks, func(b int) {
+	ForGrain(blocks, 1, func(b int) {
 		lo, hi := blockBounds(n, blocks, b)
 		row := counts[b*buckets : (b+1)*buckets]
 		for i := lo; i < hi; i++ {
@@ -116,7 +116,7 @@ func Histogram(n, buckets int, key func(i int) int) []int64 {
 		return out
 	}
 	partial := make([]int64, blocks*buckets)
-	For(blocks, func(b int) {
+	ForGrain(blocks, 1, func(b int) {
 		lo, hi := blockBounds(n, blocks, b)
 		row := partial[b*buckets : (b+1)*buckets]
 		for i := lo; i < hi; i++ {

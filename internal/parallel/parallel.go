@@ -85,12 +85,6 @@ func (b *panicBox) capture() {
 	}
 }
 
-func (b *panicBox) repanic() {
-	if b.err != nil {
-		panic(b.err)
-	}
-}
-
 // For runs body(i) for every i in [0, n) using all configured workers and an
 // automatically chosen grain size.
 func For(n int, body func(i int)) {
@@ -127,29 +121,28 @@ func ForRangeGrain(n, grain int, body func(lo, hi int)) {
 
 // ForEachWorker runs body(worker, workers) once on each of the configured
 // workers. It is used by primitives that keep per-worker state (e.g. blocked
-// scans). The worker index is in [0, workers).
+// scans). The worker index is in [0, workers). The bodies run on the
+// persistent pool (one "chunk" per worker index); the caller executes at
+// least one of them itself.
 func ForEachWorker(body func(worker, workers int)) {
 	workers := Procs()
 	if workers == 1 {
 		body(0, 1)
 		return
 	}
-	var box panicBox
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			defer box.capture()
-			body(w, workers)
-		}(w)
+	// The chunk index, not the pool slot, is the worker identity here:
+	// each index in [0, workers) is dispatched exactly once.
+	err := runParallel(nil, workers, 1, workers, workers, func(_, c, _, _ int) {
+		body(c, workers)
+	})
+	if err != nil {
+		panic(err)
 	}
-	wg.Wait()
-	box.repanic()
 }
 
 // Do runs the given thunks concurrently and waits for all of them; it is the
-// binary/spawn form of fork-join parallelism (Cilk's spawn/sync).
+// binary/spawn form of fork-join parallelism (Cilk's spawn/sync). A panic in
+// any thunk propagates with a *PanicError value once all thunks settle.
 func Do(thunks ...func()) {
 	switch len(thunks) {
 	case 0:
@@ -158,28 +151,9 @@ func Do(thunks ...func()) {
 		thunks[0]()
 		return
 	}
-	if Procs() == 1 {
-		for _, t := range thunks {
-			t()
-		}
-		return
+	if err := DoCtx(nil, thunks...); err != nil {
+		panic(err)
 	}
-	var box panicBox
-	var wg sync.WaitGroup
-	wg.Add(len(thunks) - 1)
-	for _, t := range thunks[1:] {
-		go func(t func()) {
-			defer wg.Done()
-			defer box.capture()
-			t()
-		}(t)
-	}
-	func() {
-		defer box.capture()
-		thunks[0]()
-	}()
-	wg.Wait()
-	box.repanic()
 }
 
 // blockBounds splits [0, n) into nblocks nearly equal contiguous blocks and

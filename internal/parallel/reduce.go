@@ -26,7 +26,7 @@ func Reduce[T any](n int, id T, fn func(i int) T, combine func(a, b T) T) T {
 		return acc
 	}
 	partial := make([]T, blocks)
-	For(blocks, func(b int) {
+	ForGrain(blocks, 1, func(b int) {
 		lo, hi := blockBounds(n, blocks, b)
 		acc := id
 		for i := lo; i < hi; i++ {
@@ -118,7 +118,7 @@ func Any(n int, pred func(i int) bool) bool {
 		return false
 	}
 	found := make([]bool, blocks)
-	For(blocks, func(b int) {
+	ForGrain(blocks, 1, func(b int) {
 		lo, hi := blockBounds(n, blocks, b)
 		for i := lo; i < hi; i++ {
 			if pred(i) {

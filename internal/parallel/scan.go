@@ -25,7 +25,7 @@ func ScanExclusive[T Number](in, out []T) T {
 		return acc
 	}
 	sums := make([]T, blocks)
-	For(blocks, func(b int) {
+	ForGrain(blocks, 1, func(b int) {
 		lo, hi := blockBounds(n, blocks, b)
 		var acc T
 		for i := lo; i < hi; i++ {
@@ -39,7 +39,7 @@ func ScanExclusive[T Number](in, out []T) T {
 		sums[b] = total
 		total += s
 	}
-	For(blocks, func(b int) {
+	ForGrain(blocks, 1, func(b int) {
 		lo, hi := blockBounds(n, blocks, b)
 		acc := sums[b]
 		for i := lo; i < hi; i++ {
@@ -73,7 +73,7 @@ func ScanInclusive[T Number](in, out []T) T {
 		return acc
 	}
 	sums := make([]T, blocks)
-	For(blocks, func(b int) {
+	ForGrain(blocks, 1, func(b int) {
 		lo, hi := blockBounds(n, blocks, b)
 		var acc T
 		for i := lo; i < hi; i++ {
@@ -87,7 +87,7 @@ func ScanInclusive[T Number](in, out []T) T {
 		sums[b] = total
 		total += s
 	}
-	For(blocks, func(b int) {
+	ForGrain(blocks, 1, func(b int) {
 		lo, hi := blockBounds(n, blocks, b)
 		acc := sums[b]
 		for i := lo; i < hi; i++ {

@@ -4,8 +4,6 @@ import (
 	"context"
 	"runtime"
 	"runtime/debug"
-	"sync"
-	"sync/atomic"
 
 	"ligra/internal/faultinject"
 )
@@ -45,65 +43,19 @@ func ForWorkerChunksCtx(ctx context.Context, n, grain int, body func(worker, chu
 		return nil
 	}
 	procs := CtxProcs(ctx)
-	if grain <= 0 {
+	auto := grain <= 0
+	if auto {
 		grain = defaultGrain(n, procs)
 	}
 	chunks := (n + grain - 1) / grain
-	if procs == 1 || chunks == 1 {
+	if procs == 1 || chunks == 1 || (auto && n <= seqCutoff) {
+		schedStats.inlineRuns.Add(1)
+		if procs > 1 && chunks > 1 {
+			schedStats.cutoffRuns.Add(1)
+		}
 		return forWorkerSeq(ctx, n, grain, chunks, body)
 	}
-	workers := procs
-	if workers > chunks {
-		workers = chunks
-	}
-	// See ForRangeGrainCtx: on a single-P runtime the cancelling goroutine
-	// only runs when a worker yields.
-	yield := ctx != nil && runtime.GOMAXPROCS(0) == 1
-
-	var next atomic.Int64
-	var box panicBox
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			defer box.capture()
-			for {
-				if box.stopped.Load() {
-					return
-				}
-				if ctx != nil {
-					if yield {
-						runtime.Gosched()
-					}
-					if ctx.Err() != nil {
-						return
-					}
-				}
-				c := int(next.Add(1) - 1)
-				if c >= chunks {
-					return
-				}
-				faultinject.OnChunk()
-				lo := c * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(w, c, lo, hi)
-			}
-		}(w)
-	}
-	wg.Wait()
-	if box.err != nil {
-		return box.err
-	}
-	if ctx != nil {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return runParallel(ctx, n, grain, chunks, procs, body)
 }
 
 // forWorkerSeq runs every chunk on the calling goroutine as worker 0,

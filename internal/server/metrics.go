@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ligra/internal/core"
+	"ligra/internal/parallel"
 	"ligra/internal/server/engine"
 )
 
@@ -88,6 +89,11 @@ type Snapshot struct {
 	// sparse/dense decision split, frontier sizes, edges weighed), so the
 	// direction-optimization behaviour of served queries is observable.
 	Traversal core.StatsSnapshot `json:"traversal"`
+	// Scheduler is the worker-pool scheduler's counter set (pool size,
+	// dispatches vs inline runs including the sequential cutoff, worker
+	// park/wake counts), so per-query scheduling overhead — and whether
+	// governor-leased queries are dispatching at all — is observable.
+	Scheduler parallel.SchedulerStats `json:"scheduler"`
 }
 
 // Snapshot captures every counter plus the registry's per-graph memory
@@ -121,5 +127,6 @@ func (m *Metrics) Snapshot(reg *Registry, eng *engine.Engine) Snapshot {
 		s.Query = eng.Snapshot()
 	}
 	s.Traversal = core.SnapshotStats()
+	s.Scheduler = parallel.SchedulerSnapshot()
 	return s
 }

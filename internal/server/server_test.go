@@ -240,6 +240,16 @@ func TestServerEndToEnd(t *testing.T) {
 	if snap.Admitted < int64(len(queries)) {
 		t.Errorf("admitted = %d, want >= %d", snap.Admitted, len(queries))
 	}
+	// The scheduler block is present and sane: every query ran parallel
+	// primitives, so the scheduler saw activity (inline runs on a small
+	// graph; dispatches when the pool engages), and the gauges are
+	// non-negative.
+	if snap.Scheduler.InlineRuns+snap.Scheduler.Dispatches == 0 {
+		t.Error("scheduler block saw no activity after serving queries")
+	}
+	if snap.Scheduler.PoolWorkers < 0 || snap.Scheduler.Parks < 0 {
+		t.Errorf("scheduler gauges negative: %+v", snap.Scheduler)
+	}
 
 	// Evict, then the graph is gone.
 	if status, _ := doJSON(t, "DELETE", ts.URL+"/v1/graphs/small", nil); status != http.StatusOK {

@@ -31,6 +31,7 @@ package ligra
 import (
 	"ligra/internal/core"
 	"ligra/internal/graph"
+	"ligra/internal/parallel"
 )
 
 // Re-exported core types. These aliases make the internal packages' types
@@ -143,6 +144,21 @@ func SnapshotTraversalStats() TraversalStats { return core.SnapshotStats() }
 
 // ResetTraversalStats zeroes the process-wide traversal counters.
 func ResetTraversalStats() { core.ResetStats() }
+
+// SchedulerStats is a point-in-time copy of the persistent worker-pool
+// scheduler's counters: pool size, parallel-call dispatches versus
+// inline runs (including the sequential cutoff), and worker park/wake
+// counts. See SnapshotSchedulerStats and docs/PERFORMANCE.md.
+type SchedulerStats = parallel.SchedulerStats
+
+// SnapshotSchedulerStats returns the current process-wide scheduler
+// counters. To attribute activity to one region, snapshot before and
+// after and use SchedulerStats.Sub. Safe for concurrent use.
+func SnapshotSchedulerStats() SchedulerStats { return parallel.SchedulerSnapshot() }
+
+// ResetSchedulerStats zeroes the scheduler's dispatch/inline/park/wake
+// counters (the pool-size gauge is untouched).
+func ResetSchedulerStats() { parallel.ResetSchedulerStats() }
 
 // Pair is one (vertex, payload) member of a data-carrying frontier.
 type Pair[T any] = core.Pair[T]
