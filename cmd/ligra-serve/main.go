@@ -1,7 +1,10 @@
 // ligra-serve is the long-running graph analytics server: it keeps a
 // registry of named graphs resident in memory and serves algorithm
-// queries over HTTP/JSON, with per-request deadlines, bounded admission,
-// panic containment, and built-in observability.
+// queries over HTTP/JSON, with per-request deadlines, adaptive load
+// shedding (429+Retry-After past the -shed-target-ms SLO, with
+// per-tenant fair share), per-(algorithm, graph) circuit breakers,
+// retrying graph loads under a -retry-budget, a query watchdog, panic
+// containment, and built-in observability.
 //
 // Usage:
 //
@@ -10,7 +13,8 @@
 //
 // Endpoints:
 //
-//	GET    /healthz                  liveness (503 while draining)
+//	GET    /healthz                  readiness: graph + breaker states ("ok"|"degraded"; 503 draining)
+//	GET    /healthz?live=1           liveness: bare OK (503 while draining)
 //	GET    /metrics                  counters + per-graph memory (JSON)
 //	GET    /v1/graphs                list registered graphs
 //	POST   /v1/graphs/{name}         load {"path":...} or {"gen":"rmat",...}
@@ -99,6 +103,11 @@ func run(args []string) error {
 		drainTimeout   = fs.Duration("drain-timeout", 15*time.Second, "how long SIGTERM waits for in-flight queries before cancelling them")
 		cacheMB        = fs.Int64("cache-mb", 64, "query result cache budget in MiB (0 = caching off; coalescing stays on)")
 		maxQueryProcs  = fs.Int("max-query-procs", 0, "worker goroutines one query may use (0 = GOMAXPROCS); concurrent queries share the CPU-slot pool")
+		shedTargetMs   = fs.Int("shed-target-ms", 1000, "admission-wait SLO in ms; past it new queries are shed with 429+Retry-After (0 = default 1s, negative = adaptive shedding off)")
+		breakerThresh  = fs.Int("breaker-threshold", 5, "consecutive panics/timeouts that open a per-(algo,graph) circuit breaker (negative = breakers off)")
+		breakerCool    = fs.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before a half-open probe")
+		retryBudget    = fs.Int("retry-budget", 10, "token budget for transient graph-load retries (negative = retries off)")
+		watchdogGrace  = fs.Duration("watchdog-grace", 2*time.Second, "how far past its deadline a query may run before the watchdog trips (negative = watchdog off)")
 		logJSON        = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	fs.Var(&preloads, "preload", "load a graph at startup: name=path[,symmetric] (repeatable)")
@@ -113,13 +122,18 @@ func run(args []string) error {
 	logger := slog.New(handler)
 
 	srv := server.New(server.Config{
-		MaxConcurrent:  *maxConcurrent,
-		QueueWait:      *queueWait,
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
-		CacheBytes:     *cacheMB << 20,
-		MaxQueryProcs:  *maxQueryProcs,
-		Logger:         logger,
+		MaxConcurrent:    *maxConcurrent,
+		QueueWait:        *queueWait,
+		DefaultTimeout:   *defaultTimeout,
+		MaxTimeout:       *maxTimeout,
+		CacheBytes:       *cacheMB << 20,
+		MaxQueryProcs:    *maxQueryProcs,
+		ShedTarget:       time.Duration(*shedTargetMs) * time.Millisecond,
+		BreakerThreshold: *breakerThresh,
+		BreakerCooldown:  *breakerCool,
+		RetryBudget:      *retryBudget,
+		WatchdogGrace:    *watchdogGrace,
+		Logger:           logger,
 	})
 	for _, p := range preloads {
 		_, err := srv.Registry().Load(context.Background(), p.name,

@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"strconv"
+
+	"ligra/internal/faultinject"
 )
 
 // The text exchange format is Ligra's AdjacencyGraph format (inherited from
@@ -292,6 +294,9 @@ func noEOF(err error) error {
 // LoadFile reads a graph from path, auto-detecting the binary format by its
 // magic and otherwise parsing the text format.
 func LoadFile(path string, symmetric bool) (*Graph, error) {
+	if err := faultinject.OnLoad(); err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 
 	"ligra/internal/algo"
@@ -15,6 +16,7 @@ import (
 	"ligra/internal/graph"
 	"ligra/internal/parallel"
 	"ligra/internal/server/engine"
+	"ligra/internal/server/resilience"
 )
 
 func (s *Server) routes() {
@@ -39,19 +41,89 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// retryAfter sets the Retry-After header (seconds, rounded up, at least
+// 1) so well-behaved clients back off instead of hammering; see
+// docs/SERVING.md for the header contract.
+func retryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// healthGraph is one graph's load state in the readiness document.
+type healthGraph struct {
+	Name  string `json:"name"`
+	State string `json:"state"` // "ready" | "loading"
+}
+
+// healthResponse is the readiness document served at /healthz.
+type healthResponse struct {
+	// Status is "ok", "degraded" (at least one circuit breaker is not
+	// closed — the replica serves, but a router should deprioritize
+	// it), or "draining".
+	Status   string                     `json:"status"`
+	Graphs   []healthGraph              `json:"graphs"`
+	Breakers []resilience.BreakerStatus `json:"breakers,omitempty"`
+	Watchdog map[string]int64           `json:"watchdog,omitempty"`
+}
+
+// handleHealthz distinguishes liveness from readiness. Plain /healthz
+// is the readiness probe: structured JSON with per-graph load state and
+// breaker states, HTTP 200 for "ok"/"degraded" and 503 while draining.
+// /healthz?live=1 is the liveness probe with the original bare
+// contract — 200 {"status":"ok"} unless draining (503) — kept for
+// load-balancer drain checks that only look at the status code.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	if r.URL.Query().Get("live") == "1" {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"graphs": len(s.reg.List()),
+		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"graphs": len(s.reg.List()),
-	})
+	resp := healthResponse{Status: "ok", Graphs: []healthGraph{}}
+	for _, info := range s.reg.List() {
+		state := "ready"
+		if info.Loading {
+			state = "loading"
+		}
+		resp.Graphs = append(resp.Graphs, healthGraph{Name: info.Name, State: state})
+	}
+	resp.Breakers = s.breakers.States()
+	if trips := s.watchdog.Trips(); trips > 0 {
+		resp.Watchdog = map[string]int64{"trips": trips}
+	}
+	status := http.StatusOK
+	if s.breakers.OpenCount() > 0 {
+		resp.Status = "degraded"
+	}
+	if s.Draining() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.reg, s.engine))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.reg, s.engine, s.resilienceSnapshot()))
+}
+
+// resilienceSnapshot assembles the /metrics resilience block from the
+// subsystem's live components.
+func (s *Server) resilienceSnapshot() ResilienceSnapshot {
+	return ResilienceSnapshot{
+		ShedderStats:  s.shed.Stats(),
+		BreakerStats:  s.breakers.Stats(),
+		BudgetStats:   s.reg.RetryBudget().Stats(),
+		WatchdogTrips: s.watchdog.Trips(),
+		Breakers:      s.breakers.States(),
+	}
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -156,6 +228,7 @@ func (lr loadRequest) plan() (string, func() (*graph.Graph, error), error) {
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
+		retryAfter(w, time.Second)
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -228,6 +301,7 @@ type queryResponse struct {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
+		retryAfter(w, time.Second)
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -265,13 +339,52 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		source = uint32(*req.Source)
 	}
 
-	// Admission: bounded concurrency with a short queue, then 429.
-	if !s.admit(r.Context()) {
-		s.metrics.Rejected.Add(1)
-		writeError(w, http.StatusTooManyRequests, "server at max concurrency, retry later")
+	// Circuit breaker: a combination that keeps panicking or blowing
+	// through deadlines fails fast — before consuming an admission slot
+	// — with a typed body a router can act on.
+	bkey := resilience.BreakerKey{Algo: runner.Name, Graph: name}
+	allowed, wait := s.breakers.Allow(bkey)
+	if !allowed {
+		retryAfter(w, wait)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":          fmt.Sprintf("circuit breaker open for %s on %q (repeated panics/timeouts); retry after the cooldown", runner.Name, name),
+			"error_type":     "breaker_open",
+			"algo":           runner.Name,
+			"graph":          name,
+			"retry_after_ms": wait.Milliseconds(),
+		})
 		return
 	}
-	defer s.release()
+	// From here on every return path must settle the breaker: a true
+	// from Allow in the half-open state is the probe whose outcome the
+	// state machine waits for.
+	outcome := resilience.OutcomeAborted
+	recordOutcome := true
+	defer func() {
+		if recordOutcome {
+			s.breakers.Record(bkey, outcome)
+		}
+	}()
+
+	// Admission: adaptive shedding over bounded concurrency — shed with
+	// 429 + Retry-After when past the service-level target, after the
+	// queue window otherwise.
+	dec := s.shed.Admit(r.Context(), tenantOf(r))
+	if !dec.OK {
+		s.metrics.Rejected.Add(1)
+		retryAfter(w, dec.RetryAfter)
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":      fmt.Sprintf("server overloaded (%s), retry later", dec.Reason),
+			"error_type": "shed",
+			"reason":     string(dec.Reason),
+		})
+		return
+	}
+	admitted := time.Now()
+	defer func() {
+		s.shed.RecordLatency(time.Since(admitted))
+		dec.Release()
+	}()
 	s.metrics.Admitted.Add(1)
 
 	// The query context: cancelled when the server hard-stops
@@ -305,6 +418,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	am := s.metrics.Algo(runner.Name)
 	am.Requests.Add(1)
 	s.metrics.InFlight.Add(1)
+	// Watchdog: register the deadline so a query the cancellation layer
+	// fails to stop is detected, stack-dumped, and counted.
+	var qDeadline time.Time
+	if d, ok := ctx.Deadline(); ok {
+		qDeadline = d
+	}
+	wid := s.watchdog.Watch(name, runner.Name, qDeadline)
 	start := time.Now()
 	val, how, err := s.engine.Execute(ctx, key, func(runCtx context.Context, procs int) (engine.Value, error) {
 		p := params
@@ -313,8 +433,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return engine.Value{Data: res, Bytes: estimateResultBytes(res)}, err
 	})
 	elapsed := float64(time.Since(start).Microseconds()) / 1000
+	s.watchdog.Done(wid)
 	s.metrics.InFlight.Add(-1)
 	am.LatencyMsSum.Add(elapsed)
+
+	// Cached and coalesced replies prove nothing new about the
+	// (algorithm, graph) combination — only an actual execution feeds
+	// the breaker.
+	recordOutcome = !how.Cached && !how.Coalesced
 
 	res, _ := val.Data.(algo.RunResult)
 	resp := queryResponse{
@@ -326,15 +452,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var re *algo.RoundError
 	switch {
 	case err == nil:
+		outcome = resilience.OutcomeSuccess
 		writeJSON(w, http.StatusOK, resp)
 	case errors.As(err, &pe):
+		outcome = resilience.OutcomeFailure
 		am.Panics.Add(1)
 		s.log.Error("query panic contained", "graph", name, "algo", runner.Name,
 			"panic", fmt.Sprint(pe.Value), "stack", string(pe.Stack))
 		resp.Summary, resp.Details = "", nil
 		resp.Error = fmt.Sprintf("query panicked (contained): %v", pe.Value)
 		writeJSON(w, http.StatusInternalServerError, resp)
-	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+	case errors.Is(err, context.DeadlineExceeded):
+		outcome = resilience.OutcomeFailure
+		am.Timeouts.Add(1)
+		resp.Partial = true
+		if errors.As(err, &re) {
+			resp.InterruptedAfterRound = re.Round
+		}
+		resp.Error = err.Error()
+		writeJSON(w, http.StatusGatewayTimeout, resp)
+	case errors.Is(err, context.Canceled):
+		// Client disconnect or drain cancellation: not the
+		// combination's fault, so the breaker records nothing
+		// (outcome stays Aborted).
 		am.Timeouts.Add(1)
 		resp.Partial = true
 		if errors.As(err, &re) {
@@ -343,6 +483,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Error = err.Error()
 		writeJSON(w, http.StatusGatewayTimeout, resp)
 	default:
+		// The query's own fault (e.g. invalid input for the
+		// algorithm); says nothing about the combination's health.
 		am.Errors.Add(1)
 		resp.Summary, resp.Details = "", nil
 		resp.Error = err.Error()

@@ -8,6 +8,7 @@ import (
 	"ligra/internal/core"
 	"ligra/internal/parallel"
 	"ligra/internal/server/engine"
+	"ligra/internal/server/resilience"
 )
 
 // Metrics is the server's counter set, built from expvar's atomic types
@@ -94,11 +95,32 @@ type Snapshot struct {
 	// park/wake counts), so per-query scheduling overhead — and whether
 	// governor-leased queries are dispatching at all — is observable.
 	Scheduler parallel.SchedulerStats `json:"scheduler"`
+	// Resilience is the overload-protection subsystem's counter set:
+	// shed decisions by reason, breaker transitions and current open
+	// states, retry-budget spend, and watchdog trips.
+	Resilience ResilienceSnapshot `json:"resilience"`
+}
+
+// ResilienceSnapshot is the /metrics "resilience" block, flattening the
+// shedder, breaker, retry-budget, and watchdog counters plus the list
+// of breakers currently away from the closed state.
+type ResilienceSnapshot struct {
+	resilience.ShedderStats
+	resilience.BreakerStats
+	resilience.BudgetStats
+	// WatchdogTrips counts queries caught running past deadline+grace;
+	// any non-zero value is a runtime bug (the cancellation layer
+	// failed to stop a query) and fails the chaos suite.
+	WatchdogTrips int64 `json:"watchdog_trips"`
+	// Breakers lists every breaker not pristine-closed, with state and
+	// (for open ones) time until the next probe.
+	Breakers []resilience.BreakerStatus `json:"breakers,omitempty"`
 }
 
 // Snapshot captures every counter plus the registry's per-graph memory
-// estimates and the query engine's counters (eng may be nil).
-func (m *Metrics) Snapshot(reg *Registry, eng *engine.Engine) Snapshot {
+// estimates, the query engine's counters (eng may be nil), and the
+// resilience block assembled by the caller.
+func (m *Metrics) Snapshot(reg *Registry, eng *engine.Engine, res ResilienceSnapshot) Snapshot {
 	s := Snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		InFlight:      m.InFlight.Value(),
@@ -128,5 +150,6 @@ func (m *Metrics) Snapshot(reg *Registry, eng *engine.Engine) Snapshot {
 	}
 	s.Traversal = core.SnapshotStats()
 	s.Scheduler = parallel.SchedulerSnapshot()
+	s.Resilience = res
 	return s
 }

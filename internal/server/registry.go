@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ligra/internal/graph"
+	"ligra/internal/server/resilience"
 )
 
 // Registry errors. Handlers map these to HTTP statuses.
@@ -75,11 +76,44 @@ type Registry struct {
 	// is never deleted from — an evicted name keeps its counter so a
 	// reload gets a strictly larger generation.
 	gens map[string]uint64
+
+	// retryBudget/retryCfg, when set, make builds retry transient
+	// failures (per resilience.IsTransient) with jittered backoff, so
+	// an IO blip during an evict+reload never surfaces to clients. A
+	// nil budget means no retries.
+	retryBudget *resilience.Budget
+	retryCfg    resilience.RetryConfig
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*regEntry), gens: make(map[string]uint64)}
+}
+
+// SetLoadRetry arms transient-failure retries for builds. Call before
+// serving; it is not synchronized with in-flight loads.
+func (r *Registry) SetLoadRetry(budget *resilience.Budget, cfg resilience.RetryConfig) {
+	r.retryBudget, r.retryCfg = budget, cfg
+}
+
+// RetryBudget exposes the load-retry budget (nil when retries are off).
+func (r *Registry) RetryBudget() *resilience.Budget { return r.retryBudget }
+
+// runBuild executes one build, retrying transient failures under the
+// registry's budget. ctx bounds the backoff sleeps (the first
+// requester's context): if the requester gives up mid-backoff, the
+// load fails and the entry is forgotten, so the name stays retryable.
+func (r *Registry) runBuild(ctx context.Context, build func() (*graph.Graph, error)) (*graph.Graph, error) {
+	if r.retryBudget == nil {
+		return build()
+	}
+	var g *graph.Graph
+	err := resilience.Do(ctx, r.retryBudget, r.retryCfg, func() error {
+		var err error
+		g, err = build()
+		return err
+	})
+	return g, err
 }
 
 // Load registers name, building the graph with build if it is not already
@@ -106,7 +140,7 @@ func (r *Registry) Load(ctx context.Context, name, source string, build func() (
 	r.mu.Unlock()
 
 	start := time.Now()
-	g, err := build()
+	g, err := r.runBuild(ctx, build)
 	if err != nil {
 		e.err = fmt.Errorf("loading %q: %w", name, err)
 		r.mu.Lock()

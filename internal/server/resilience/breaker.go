@@ -1,0 +1,244 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is one circuit breaker's position.
+type BreakerState string
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: requests fail fast until the cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: one probe request is in flight; its outcome
+	// decides between closed and open.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// Outcome classifies a finished execution for the breaker.
+type Outcome int
+
+const (
+	// OutcomeSuccess: the execution completed; resets the
+	// consecutive-failure streak and closes a half-open breaker.
+	OutcomeSuccess Outcome = iota
+	// OutcomeFailure: a contained panic or a deadline blow-through —
+	// the failure classes that, repeated, mean the combination is
+	// pathological on this replica.
+	OutcomeFailure
+	// OutcomeAborted: the execution ended for reasons that say nothing
+	// either way (client disconnect, drain cancellation, bad query
+	// input). Releases a half-open probe without moving the state
+	// machine or the failure streak.
+	OutcomeAborted
+)
+
+// BreakerKey identifies one breaker: failures are tracked per
+// (algorithm, graph) because that is the granularity at which queries
+// go pathological — PageRank on one adversarial graph must not take
+// BFS, or PageRank on every other graph, down with it.
+type BreakerKey struct {
+	Algo  string `json:"algo"`
+	Graph string `json:"graph"`
+}
+
+// breaker is one key's state machine. All fields are guarded by the
+// owning Breakers' mutex.
+type breaker struct {
+	state    BreakerState
+	fails    int       // consecutive OutcomeFailure count
+	openedAt time.Time // when state last became open
+	probing  bool      // a half-open probe is in flight
+}
+
+// Breakers is the per-(algorithm, graph) circuit-breaker table.
+//
+// State machine per key: closed → (threshold consecutive failures) →
+// open → (cooldown elapses, next Allow becomes the probe) → half-open →
+// (probe succeeds → closed | probe fails → open, cooldown restarts).
+// A success in any state resets the consecutive-failure count.
+type Breakers struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu sync.Mutex
+	m  map[BreakerKey]*breaker
+
+	opened atomic.Int64 // cumulative closed/half-open → open transitions
+	probes atomic.Int64 // cumulative half-open probes granted
+}
+
+// NewBreakers builds the table. threshold is the consecutive-failure
+// count that opens a breaker (<= 0 disables breaking entirely);
+// cooldown is how long an open breaker waits before admitting a probe
+// (<= 0 selects 5s).
+func NewBreakers(threshold int, cooldown time.Duration) *Breakers {
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breakers{threshold: threshold, cooldown: cooldown, m: make(map[BreakerKey]*breaker)}
+}
+
+// Enabled reports whether breaking is active.
+func (b *Breakers) Enabled() bool { return b != nil && b.threshold > 0 }
+
+// Allow reports whether a request for key may execute. When it returns
+// false the request must fail fast; retryAfter is how long until the
+// breaker will next admit a probe. When it returns true the caller must
+// report the execution's Outcome via Record (every true from Allow in
+// the half-open state is a probe whose outcome the state machine is
+// waiting on).
+func (b *Breakers) Allow(key BreakerKey) (ok bool, retryAfter time.Duration) {
+	if !b.Enabled() {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br, exists := b.m[key]
+	if !exists || br.state == BreakerClosed {
+		return true, 0
+	}
+	if br.state == BreakerOpen {
+		if wait := b.cooldown - time.Since(br.openedAt); wait > 0 {
+			return false, wait
+		}
+		br.state = BreakerHalfOpen
+		br.probing = false
+	}
+	// Half-open: admit exactly one probe at a time.
+	if br.probing {
+		return false, b.cooldown
+	}
+	br.probing = true
+	b.probes.Add(1)
+	return true, 0
+}
+
+// Record reports how an execution for key ended. Cached or coalesced
+// responses must not be recorded — they prove nothing new about the
+// combination and would double-count the leader's outcome.
+func (b *Breakers) Record(key BreakerKey, outcome Outcome) {
+	if !b.Enabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[key]
+	if br == nil {
+		if outcome != OutcomeFailure {
+			return // nothing to track until the first failure
+		}
+		br = &breaker{state: BreakerClosed}
+		b.m[key] = br
+	}
+	wasProbe := br.probing
+	br.probing = false
+	switch outcome {
+	case OutcomeSuccess:
+		br.fails = 0
+		if br.state != BreakerClosed {
+			br.state = BreakerClosed
+		}
+	case OutcomeFailure:
+		br.fails++
+		if br.state == BreakerHalfOpen && wasProbe {
+			// The probe failed: straight back to open, cooldown restarts.
+			br.state = BreakerOpen
+			br.openedAt = time.Now()
+			b.opened.Add(1)
+		} else if br.state == BreakerClosed && br.fails >= b.threshold {
+			br.state = BreakerOpen
+			br.openedAt = time.Now()
+			b.opened.Add(1)
+		}
+	case OutcomeAborted:
+		// Only the probe slot was released; the state machine holds.
+	}
+}
+
+// BreakerStatus is one breaker's externally visible state, for /healthz
+// and /metrics.
+type BreakerStatus struct {
+	BreakerKey
+	State BreakerState `json:"state"`
+	// ConsecutiveFailures is the current failure streak.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	// RetryAfterMs, for open breakers, is the time until a probe is
+	// admitted.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+}
+
+// States lists every breaker not in the pristine closed state (closed
+// with no failure streak is dropped — the table would otherwise grow
+// one permanent entry per combination ever to fail once).
+func (b *Breakers) States() []BreakerStatus {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	out := make([]BreakerStatus, 0, len(b.m))
+	for key, br := range b.m {
+		if br.state == BreakerClosed && br.fails == 0 {
+			continue
+		}
+		st := BreakerStatus{BreakerKey: key, State: br.state, ConsecutiveFailures: br.fails}
+		if br.state == BreakerOpen {
+			if wait := b.cooldown - time.Since(br.openedAt); wait > 0 {
+				st.RetryAfterMs = wait.Milliseconds()
+			}
+		}
+		out = append(out, st)
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Graph != out[j].Graph {
+			return out[i].Graph < out[j].Graph
+		}
+		return out[i].Algo < out[j].Algo
+	})
+	return out
+}
+
+// OpenCount is the number of breakers currently open or half-open —
+// the "degraded" signal for /healthz.
+func (b *Breakers) OpenCount() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, br := range b.m {
+		if br.state != BreakerClosed {
+			n++
+		}
+	}
+	return n
+}
+
+// BreakerStats is the breaker table's counter snapshot.
+type BreakerStats struct {
+	// BreakerOpen counts transitions into the open state (cumulative).
+	BreakerOpen int64 `json:"breaker_open"`
+	// BreakerHalfopenProbes counts half-open probes granted.
+	BreakerHalfopenProbes int64 `json:"breaker_halfopen_probes"`
+	// OpenNow is the number of breakers currently open or half-open.
+	OpenNow int `json:"open_now"`
+}
+
+// Stats snapshots the counters.
+func (b *Breakers) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{}
+	}
+	return BreakerStats{
+		BreakerOpen:           b.opened.Load(),
+		BreakerHalfopenProbes: b.probes.Load(),
+		OpenNow:               b.OpenCount(),
+	}
+}

@@ -1,0 +1,165 @@
+package resilience
+
+import (
+	"log/slog"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog audits the deadline invariant: the cancellation layer
+// (chunk-granularity context checks in every parallel primitive) is
+// supposed to make a query that keeps running long past its deadline
+// impossible. The watchdog is the component that proves it — each
+// deadline-bearing query registers on entry and deregisters on exit,
+// and a query still registered at deadline+grace trips the watchdog:
+// a full all-goroutine stack dump is force-logged (the evidence needed
+// to find the non-cooperative loop) and a trip counter increments. The
+// chaos suite asserts the counter stays at zero; a non-zero value in
+// production is a bug report against the runtime, not noise.
+//
+// The watchdog runs no persistent goroutine: a timer is scheduled only
+// while deadline-bearing queries are in flight and re-arms itself for
+// the next-soonest trip time, so an idle server holds zero watchdog
+// resources (and goroutine-leak checks stay exact).
+type Watchdog struct {
+	grace time.Duration
+	log   *slog.Logger
+	trips atomic.Int64
+
+	mu      sync.Mutex
+	nextID  uint64
+	running map[uint64]*watchEntry
+	timer   *time.Timer
+	timerAt time.Time
+}
+
+type watchEntry struct {
+	graph, algo string
+	start       time.Time
+	deadline    time.Time
+	tripped     bool
+}
+
+// NewWatchdog builds a watchdog; grace is how far past its deadline a
+// query may run before tripping (<= 0 selects 2s) and log receives the
+// trip reports (nil uses slog's default).
+func NewWatchdog(grace time.Duration, log *slog.Logger) *Watchdog {
+	if grace <= 0 {
+		grace = 2 * time.Second
+	}
+	if log == nil {
+		log = slog.Default()
+	}
+	return &Watchdog{grace: grace, log: log, running: make(map[uint64]*watchEntry)}
+}
+
+// Watch registers one executing query. deadline is the query's context
+// deadline; a zero deadline (unbounded query) is not watched and
+// returns 0. The returned id must be passed to Done when the query's
+// execution returns, tripped or not.
+func (w *Watchdog) Watch(graph, algo string, deadline time.Time) uint64 {
+	if w == nil || deadline.IsZero() {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.nextID++
+	id := w.nextID
+	w.running[id] = &watchEntry{graph: graph, algo: algo, start: time.Now(), deadline: deadline}
+	w.scheduleLocked()
+	return id
+}
+
+// Done deregisters a query (id 0, from an unwatched query, is a no-op).
+func (w *Watchdog) Done(id uint64) {
+	if w == nil || id == 0 {
+		return
+	}
+	w.mu.Lock()
+	delete(w.running, id)
+	if len(w.running) == 0 && w.timer != nil {
+		w.timer.Stop()
+		w.timer = nil
+	}
+	w.mu.Unlock()
+}
+
+// Trips is the cumulative trip count.
+func (w *Watchdog) Trips() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.trips.Load()
+}
+
+// scheduleLocked (re-)arms the timer for the earliest untripped trip
+// time. Caller holds w.mu.
+func (w *Watchdog) scheduleLocked() {
+	var earliest time.Time
+	for _, e := range w.running {
+		if e.tripped {
+			continue
+		}
+		at := e.deadline.Add(w.grace)
+		if earliest.IsZero() || at.Before(earliest) {
+			earliest = at
+		}
+	}
+	if earliest.IsZero() {
+		if w.timer != nil {
+			w.timer.Stop()
+			w.timer = nil
+		}
+		return
+	}
+	if w.timer != nil && w.timerAt.Equal(earliest) {
+		return
+	}
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+	w.timerAt = earliest
+	d := time.Until(earliest)
+	if d < 0 {
+		d = 0
+	}
+	w.timer = time.AfterFunc(d, w.scan)
+}
+
+// scan trips every query past deadline+grace and re-arms for the next.
+func (w *Watchdog) scan() {
+	now := time.Now()
+	var tripped []*watchEntry
+	w.mu.Lock()
+	w.timer = nil
+	for _, e := range w.running {
+		if !e.tripped && now.After(e.deadline.Add(w.grace)) {
+			e.tripped = true
+			tripped = append(tripped, e)
+		}
+	}
+	w.scheduleLocked()
+	w.mu.Unlock()
+
+	if len(tripped) == 0 {
+		return
+	}
+	// One dump covers every trip in this scan: the full all-goroutine
+	// stack is the point — it shows where the non-cooperative work is
+	// actually stuck.
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	for _, e := range tripped {
+		w.trips.Add(1)
+		w.log.Error("WATCHDOG TRIP: query running past deadline+grace — cancellation layer failed to stop it",
+			"graph", e.graph,
+			"algo", e.algo,
+			"running_for", time.Since(e.start).String(),
+			"past_deadline", time.Since(e.deadline).String(),
+			"grace", w.grace.String(),
+			"stack", string(buf[:n]),
+		)
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"ligra/internal/server/engine"
+	"ligra/internal/server/resilience"
 )
 
 // Config parameterizes a Server.
@@ -34,6 +36,29 @@ type Config struct {
 	// the parallelism governor; 0 selects GOMAXPROCS (a lone query still
 	// uses the whole machine; concurrent queries share it).
 	MaxQueryProcs int
+
+	// ShedTarget is the service-level objective for admission queue
+	// wait: once observed waits (EWMA) or the backlog's predicted wait
+	// exceed it, new queries are shed immediately with 429 +
+	// Retry-After instead of queued. 0 selects 1s; negative disables
+	// adaptive shedding (the queue window alone decides).
+	ShedTarget time.Duration
+	// BreakerThreshold is the consecutive panic/timeout count that opens
+	// a per-(algorithm, graph) circuit breaker; 0 selects 5; negative
+	// disables the breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// a half-open probe; 0 selects 5s.
+	BreakerCooldown time.Duration
+	// WatchdogGrace is how far past its deadline a query may keep
+	// running before the watchdog trips (stack dump + counter); 0
+	// selects 2s; negative disables the watchdog.
+	WatchdogGrace time.Duration
+	// RetryBudget is the token budget for transient graph-load retries
+	// (each retry spends one token; the bucket refills over ~10s); 0
+	// selects 10; negative disables load retries.
+	RetryBudget int
+
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -52,18 +77,64 @@ func (c Config) maxTimeout() time.Duration {
 	return 60 * time.Second
 }
 
-// Server is the ligra-serve service: registry + query engine + metrics.
-// Create one with New, mount Handler on an http.Server, and on shutdown
-// call StartDrain (stop accepting queries), then http.Server.Shutdown,
-// then CancelInflight (cooperatively cancel whatever drain did not
-// finish).
+func (c Config) shedTarget() time.Duration {
+	switch {
+	case c.ShedTarget > 0:
+		return c.ShedTarget
+	case c.ShedTarget < 0:
+		return 0 // adaptive shedding off
+	default:
+		return time.Second
+	}
+}
+
+func (c Config) breakerThreshold() int {
+	switch {
+	case c.BreakerThreshold > 0:
+		return c.BreakerThreshold
+	case c.BreakerThreshold < 0:
+		return 0 // breakers off
+	default:
+		return 5
+	}
+}
+
+func (c Config) watchdogGrace() time.Duration {
+	switch {
+	case c.WatchdogGrace > 0:
+		return c.WatchdogGrace
+	case c.WatchdogGrace < 0:
+		return 0 // watchdog off
+	default:
+		return 2 * time.Second
+	}
+}
+
+func (c Config) retryBudget() float64 {
+	switch {
+	case c.RetryBudget > 0:
+		return float64(c.RetryBudget)
+	case c.RetryBudget < 0:
+		return 0 // retries off
+	default:
+		return 10
+	}
+}
+
+// Server is the ligra-serve service: registry + query engine +
+// resilience layer + metrics. Create one with New, mount Handler on an
+// http.Server, and on shutdown call StartDrain (stop accepting
+// queries), then http.Server.Shutdown, then CancelInflight
+// (cooperatively cancel whatever drain did not finish).
 type Server struct {
 	cfg      Config
 	log      *slog.Logger
 	reg      *Registry
 	metrics  *Metrics
 	engine   *engine.Engine
-	sem      chan struct{}
+	shed     *resilience.Shedder
+	breakers *resilience.Breakers
+	watchdog *resilience.Watchdog
 	draining atomic.Bool
 
 	// baseCtx is the parent of every query context; CancelInflight
@@ -87,8 +158,20 @@ func New(cfg Config) *Server {
 		metrics: NewMetrics(),
 		engine: engine.New(engine.NewCache(cfg.CacheBytes),
 			engine.NewGovernor(runtime.GOMAXPROCS(0), cfg.MaxQueryProcs)),
-		sem: make(chan struct{}, cfg.maxConcurrent()),
+		shed: resilience.NewShedder(resilience.ShedderConfig{
+			Capacity:  cfg.maxConcurrent(),
+			QueueWait: cfg.QueueWait,
+			Target:    cfg.shedTarget(),
+		}),
+		breakers: resilience.NewBreakers(cfg.breakerThreshold(), cfg.BreakerCooldown),
 	}
+	if grace := cfg.watchdogGrace(); grace > 0 {
+		s.watchdog = resilience.NewWatchdog(grace, logger)
+	}
+	s.reg.SetLoadRetry(
+		resilience.NewBudget(cfg.retryBudget(), 0),
+		resilience.RetryConfig{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second},
+	)
 	s.baseCtx, s.cancelInflight = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -104,6 +187,15 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Engine exposes the query engine (cache + coalescer + governor).
 func (s *Server) Engine() *engine.Engine { return s.engine }
+
+// Breakers exposes the per-(algorithm, graph) circuit-breaker table.
+func (s *Server) Breakers() *resilience.Breakers { return s.breakers }
+
+// Watchdog exposes the query watchdog (nil when disabled).
+func (s *Server) Watchdog() *resilience.Watchdog { return s.watchdog }
+
+// Shedder exposes the adaptive admission controller.
+func (s *Server) Shedder() *resilience.Shedder { return s.shed }
 
 // Handler returns the root handler: the API mux wrapped in request
 // logging.
@@ -133,31 +225,18 @@ func (s *Server) CancelInflight() {
 	s.cancelInflight()
 }
 
-// admit acquires an admission slot, waiting up to QueueWait. It reports
-// whether the query may proceed; the caller must release() exactly once
-// when it did.
-func (s *Server) admit(ctx context.Context) bool {
-	select {
-	case s.sem <- struct{}{}:
-		return true
-	default:
+// tenantOf identifies the requester for per-tenant fair-share
+// accounting: the X-Tenant header when present (the contract a
+// front-end router or API gateway uses), the client IP otherwise.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
 	}
-	if s.cfg.QueueWait <= 0 {
-		return false
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
 	}
-	t := time.NewTimer(s.cfg.QueueWait)
-	defer t.Stop()
-	select {
-	case s.sem <- struct{}{}:
-		return true
-	case <-t.C:
-		return false
-	case <-ctx.Done():
-		return false
-	}
+	return r.RemoteAddr
 }
-
-func (s *Server) release() { <-s.sem }
 
 // statusRecorder captures the response code for the request log.
 type statusRecorder struct {
