@@ -108,6 +108,7 @@ func run(args []string) error {
 		breakerCool    = fs.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before a half-open probe")
 		retryBudget    = fs.Int("retry-budget", 10, "token budget for transient graph-load retries (negative = retries off)")
 		watchdogGrace  = fs.Duration("watchdog-grace", 2*time.Second, "how far past its deadline a query may run before the watchdog trips (negative = watchdog off)")
+		trustTenant    = fs.Bool("trust-tenant-header", false, "honor the X-Tenant header for fair-share shedding; enable only behind a gateway that sets it (otherwise tenants are client IPs)")
 		logJSON        = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	fs.Var(&preloads, "preload", "load a graph at startup: name=path[,symmetric] (repeatable)")
@@ -122,18 +123,19 @@ func run(args []string) error {
 	logger := slog.New(handler)
 
 	srv := server.New(server.Config{
-		MaxConcurrent:    *maxConcurrent,
-		QueueWait:        *queueWait,
-		DefaultTimeout:   *defaultTimeout,
-		MaxTimeout:       *maxTimeout,
-		CacheBytes:       *cacheMB << 20,
-		MaxQueryProcs:    *maxQueryProcs,
-		ShedTarget:       time.Duration(*shedTargetMs) * time.Millisecond,
-		BreakerThreshold: *breakerThresh,
-		BreakerCooldown:  *breakerCool,
-		RetryBudget:      *retryBudget,
-		WatchdogGrace:    *watchdogGrace,
-		Logger:           logger,
+		MaxConcurrent:     *maxConcurrent,
+		QueueWait:         *queueWait,
+		DefaultTimeout:    *defaultTimeout,
+		MaxTimeout:        *maxTimeout,
+		CacheBytes:        *cacheMB << 20,
+		MaxQueryProcs:     *maxQueryProcs,
+		ShedTarget:        time.Duration(*shedTargetMs) * time.Millisecond,
+		BreakerThreshold:  *breakerThresh,
+		BreakerCooldown:   *breakerCool,
+		RetryBudget:       *retryBudget,
+		WatchdogGrace:     *watchdogGrace,
+		TrustTenantHeader: *trustTenant,
+		Logger:            logger,
 	})
 	for _, p := range preloads {
 		_, err := srv.Registry().Load(context.Background(), p.name,

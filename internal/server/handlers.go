@@ -343,7 +343,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// through deadlines fails fast — before consuming an admission slot
 	// — with a typed body a router can act on.
 	bkey := resilience.BreakerKey{Algo: runner.Name, Graph: name}
-	allowed, wait := s.breakers.Allow(bkey)
+	allowed, probe, wait := s.breakers.Allow(bkey)
 	if !allowed {
 		retryAfter(w, wait)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
@@ -357,19 +357,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// From here on every return path must settle the breaker: a true
 	// from Allow in the half-open state is the probe whose outcome the
-	// state machine waits for.
+	// state machine waits for, so Record runs unconditionally — the
+	// default Aborted outcome releases a probe slot without moving the
+	// state machine or the failure streak.
 	outcome := resilience.OutcomeAborted
-	recordOutcome := true
 	defer func() {
-		if recordOutcome {
-			s.breakers.Record(bkey, outcome)
-		}
+		s.breakers.Record(bkey, outcome, probe)
 	}()
 
 	// Admission: adaptive shedding over bounded concurrency — shed with
 	// 429 + Retry-After when past the service-level target, after the
 	// queue window otherwise.
-	dec := s.shed.Admit(r.Context(), tenantOf(r))
+	dec := s.shed.Admit(r.Context(), s.tenantOf(r))
 	if !dec.OK {
 		s.metrics.Rejected.Add(1)
 		retryAfter(w, dec.RetryAfter)
@@ -394,12 +393,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	stop := context.AfterFunc(r.Context(), cancel)
 	defer stop()
+	// A deadline expiry only indicts the (algorithm, graph) combination
+	// when the server imposed the deadline. timeout_ms is client-chosen
+	// with no minimum, and short-timeout bounded partial-result queries
+	// are documented usage — if their expiries counted as breaker
+	// failures, a handful of cheap requests from one unauthenticated
+	// client would open the breaker and 503 every tenant on a healthy
+	// combination.
 	timeout := s.cfg.DefaultTimeout
+	deadlineIndicts := true
 	if req.TimeoutMs > 0 {
 		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+		deadlineIndicts = s.cfg.DefaultTimeout > 0 && timeout >= s.cfg.DefaultTimeout
 	}
 	if max := s.cfg.maxTimeout(); timeout > max {
 		timeout = max
+		deadlineIndicts = true // clamped: the query got all the server allows
 	}
 	if timeout > 0 {
 		var tcancel context.CancelFunc
@@ -438,9 +447,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	am.LatencyMsSum.Add(elapsed)
 
 	// Cached and coalesced replies prove nothing new about the
-	// (algorithm, graph) combination — only an actual execution feeds
-	// the breaker.
-	recordOutcome = !how.Cached && !how.Coalesced
+	// (algorithm, graph) combination (recording them would also
+	// double-count the coalesced leader's outcome), so only an actual
+	// execution may promote the outcome past Aborted. A half-open probe
+	// can be served from the cache too: the Aborted record releases its
+	// probe slot, where skipping Record would wedge the breaker
+	// half-open with every later Allow refused.
+	executed := !how.Cached && !how.Coalesced
 
 	res, _ := val.Data.(algo.RunResult)
 	resp := queryResponse{
@@ -452,10 +465,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var re *algo.RoundError
 	switch {
 	case err == nil:
-		outcome = resilience.OutcomeSuccess
+		if executed {
+			outcome = resilience.OutcomeSuccess
+		}
 		writeJSON(w, http.StatusOK, resp)
 	case errors.As(err, &pe):
-		outcome = resilience.OutcomeFailure
+		if executed {
+			outcome = resilience.OutcomeFailure
+		}
 		am.Panics.Add(1)
 		s.log.Error("query panic contained", "graph", name, "algo", runner.Name,
 			"panic", fmt.Sprint(pe.Value), "stack", string(pe.Stack))
@@ -463,7 +480,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Error = fmt.Sprintf("query panicked (contained): %v", pe.Value)
 		writeJSON(w, http.StatusInternalServerError, resp)
 	case errors.Is(err, context.DeadlineExceeded):
-		outcome = resilience.OutcomeFailure
+		// Expiry of a client-requested timeout shorter than the server's
+		// own is legitimate bounded-work usage, not a failure: the
+		// outcome stays Aborted.
+		if executed && deadlineIndicts {
+			outcome = resilience.OutcomeFailure
+		}
 		am.Timeouts.Add(1)
 		resp.Partial = true
 		if errors.As(err, &re) {

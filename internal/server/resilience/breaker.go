@@ -90,39 +90,46 @@ func (b *Breakers) Enabled() bool { return b != nil && b.threshold > 0 }
 // Allow reports whether a request for key may execute. When it returns
 // false the request must fail fast; retryAfter is how long until the
 // breaker will next admit a probe. When it returns true the caller must
-// report the execution's Outcome via Record (every true from Allow in
-// the half-open state is a probe whose outcome the state machine is
-// waiting on).
-func (b *Breakers) Allow(key BreakerKey) (ok bool, retryAfter time.Duration) {
+// report the execution's Outcome via Record, passing back the probe
+// flag: a true probe is the one half-open execution the state machine
+// is waiting on, and only its Record releases the probe slot (a stale
+// request admitted before the breaker opened must not release a probe
+// it does not hold).
+func (b *Breakers) Allow(key BreakerKey) (ok, probe bool, retryAfter time.Duration) {
 	if !b.Enabled() {
-		return true, 0
+		return true, false, 0
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	br, exists := b.m[key]
 	if !exists || br.state == BreakerClosed {
-		return true, 0
+		return true, false, 0
 	}
 	if br.state == BreakerOpen {
 		if wait := b.cooldown - time.Since(br.openedAt); wait > 0 {
-			return false, wait
+			return false, false, wait
 		}
 		br.state = BreakerHalfOpen
 		br.probing = false
 	}
 	// Half-open: admit exactly one probe at a time.
 	if br.probing {
-		return false, b.cooldown
+		return false, false, b.cooldown
 	}
 	br.probing = true
 	b.probes.Add(1)
-	return true, 0
+	return true, true, 0
 }
 
-// Record reports how an execution for key ended. Cached or coalesced
-// responses must not be recorded — they prove nothing new about the
-// combination and would double-count the leader's outcome.
-func (b *Breakers) Record(key BreakerKey, outcome Outcome) {
+// Record reports how an execution for key ended; probe must be the
+// flag the matching Allow returned, so that only the actual half-open
+// probe releases the probe slot. Callers report every allowed request
+// exactly once — an execution that proved nothing (cached or coalesced
+// reply, client disconnect, client-chosen short deadline) reports
+// OutcomeAborted, which settles the probe slot without moving the
+// state machine or the failure streak. Skipping Record instead would
+// leak a probe slot and wedge the breaker half-open forever.
+func (b *Breakers) Record(key BreakerKey, outcome Outcome, probe bool) {
 	if !b.Enabled() {
 		return
 	}
@@ -136,8 +143,9 @@ func (b *Breakers) Record(key BreakerKey, outcome Outcome) {
 		br = &breaker{state: BreakerClosed}
 		b.m[key] = br
 	}
-	wasProbe := br.probing
-	br.probing = false
+	if probe {
+		br.probing = false
+	}
 	switch outcome {
 	case OutcomeSuccess:
 		br.fails = 0
@@ -146,7 +154,7 @@ func (b *Breakers) Record(key BreakerKey, outcome Outcome) {
 		}
 	case OutcomeFailure:
 		br.fails++
-		if br.state == BreakerHalfOpen && wasProbe {
+		if br.state == BreakerHalfOpen && probe {
 			// The probe failed: straight back to open, cooldown restarts.
 			br.state = BreakerOpen
 			br.openedAt = time.Now()
@@ -157,7 +165,8 @@ func (b *Breakers) Record(key BreakerKey, outcome Outcome) {
 			b.opened.Add(1)
 		}
 	case OutcomeAborted:
-		// Only the probe slot was released; the state machine holds.
+		// Only the probe slot (if held) was released; the state machine
+		// and the failure streak hold.
 	}
 }
 

@@ -120,22 +120,22 @@ func TestBreakerStateMachine(t *testing.T) {
 
 	// Two failures: still closed (threshold is 3).
 	for i := 0; i < 2; i++ {
-		if ok, _ := b.Allow(key); !ok {
-			t.Fatalf("closed breaker refused request %d", i)
+		if ok, probe, _ := b.Allow(key); !ok || probe {
+			t.Fatalf("closed breaker refused request %d (or marked it a probe)", i)
 		}
-		b.Record(key, OutcomeFailure)
+		b.Record(key, OutcomeFailure, false)
 	}
 	// A success resets the streak.
-	b.Record(key, OutcomeSuccess)
+	b.Record(key, OutcomeSuccess, false)
 	for i := 0; i < 2; i++ {
-		b.Record(key, OutcomeFailure)
+		b.Record(key, OutcomeFailure, false)
 	}
-	if ok, _ := b.Allow(key); !ok {
+	if ok, _, _ := b.Allow(key); !ok {
 		t.Fatal("breaker opened below threshold (success did not reset the streak)")
 	}
 	// Third consecutive failure opens it.
-	b.Record(key, OutcomeFailure)
-	ok, retry := b.Allow(key)
+	b.Record(key, OutcomeFailure, false)
+	ok, _, retry := b.Allow(key)
 	if ok {
 		t.Fatal("open breaker allowed a request")
 	}
@@ -146,36 +146,44 @@ func TestBreakerStateMachine(t *testing.T) {
 		t.Fatalf("stats after open = %+v", got)
 	}
 	// Other keys are unaffected.
-	if ok, _ := b.Allow(BreakerKey{Algo: "pagerank", Graph: "g"}); !ok {
+	if ok, _, _ := b.Allow(BreakerKey{Algo: "pagerank", Graph: "g"}); !ok {
 		t.Fatal("unrelated breaker tripped")
 	}
 
 	// After the cooldown: exactly one probe is admitted; a second
 	// request is refused while the probe is in flight.
 	time.Sleep(35 * time.Millisecond)
-	if ok, _ := b.Allow(key); !ok {
+	if ok, probe, _ := b.Allow(key); !ok || !probe {
 		t.Fatal("cooled-down breaker did not admit a probe")
 	}
-	if ok, _ := b.Allow(key); ok {
+	if ok, _, _ := b.Allow(key); ok {
 		t.Fatal("second probe admitted while the first is in flight")
 	}
+	// A stale request admitted before the breaker opened settles while
+	// the probe is in flight: it must not release the probe's slot.
+	b.Record(key, OutcomeAborted, false)
+	if ok, _, _ := b.Allow(key); ok {
+		t.Fatal("a stale non-probe record released the in-flight probe's slot")
+	}
 	// Probe fails: straight back to open.
-	b.Record(key, OutcomeFailure)
-	if ok, _ := b.Allow(key); ok {
+	b.Record(key, OutcomeFailure, true)
+	if ok, _, _ := b.Allow(key); ok {
 		t.Fatal("breaker closed after a failed probe")
 	}
 	time.Sleep(35 * time.Millisecond)
-	if ok, _ := b.Allow(key); !ok {
+	if ok, probe, _ := b.Allow(key); !ok || !probe {
 		t.Fatal("second probe window did not open")
 	}
-	// An aborted probe releases the slot without closing the breaker.
-	b.Record(key, OutcomeAborted)
-	if ok, _ := b.Allow(key); !ok {
+	// An aborted probe (cached reply, client disconnect, short
+	// client-chosen deadline) releases the slot without closing the
+	// breaker; the very next request becomes the new probe.
+	b.Record(key, OutcomeAborted, true)
+	if ok, probe, _ := b.Allow(key); !ok || !probe {
 		t.Fatal("aborted probe did not release the probe slot")
 	}
 	// Successful probe closes it.
-	b.Record(key, OutcomeSuccess)
-	if ok, _ := b.Allow(key); !ok {
+	b.Record(key, OutcomeSuccess, true)
+	if ok, probe, _ := b.Allow(key); !ok || probe {
 		t.Fatal("breaker not closed after successful probe")
 	}
 	if st := b.Stats(); st.OpenNow != 0 || st.BreakerHalfopenProbes < 3 {
@@ -190,16 +198,16 @@ func TestBreakersDisabled(t *testing.T) {
 	b := NewBreakers(0, time.Second)
 	key := BreakerKey{Algo: "bfs", Graph: "g"}
 	for i := 0; i < 100; i++ {
-		b.Record(key, OutcomeFailure)
+		b.Record(key, OutcomeFailure, false)
 	}
-	if ok, _ := b.Allow(key); !ok {
+	if ok, _, _ := b.Allow(key); !ok {
 		t.Fatal("disabled breakers refused a request")
 	}
 	var nilB *Breakers
-	if ok, _ := nilB.Allow(key); !ok {
+	if ok, _, _ := nilB.Allow(key); !ok {
 		t.Fatal("nil Breakers refused a request")
 	}
-	nilB.Record(key, OutcomeFailure)
+	nilB.Record(key, OutcomeFailure, false)
 }
 
 func TestWatchdogTripAndClear(t *testing.T) {

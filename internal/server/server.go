@@ -58,6 +58,15 @@ type Config struct {
 	// (each retry spends one token; the bucket refills over ~10s); 0
 	// selects 10; negative disables load retries.
 	RetryBudget int
+	// TrustTenantHeader honors the X-Tenant request header as the
+	// tenant identity for fair-share shedding. The header is
+	// unauthenticated: enable it only when a trusted gateway in front
+	// of this server sets (or strips) it, because a client who can
+	// reach the server directly can rotate tenant values to defeat
+	// fair-share accounting, or impersonate a victim tenant to get it
+	// shed. When false (the default), tenants are identified by client
+	// IP and the header is ignored.
+	TrustTenantHeader bool
 
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
@@ -226,11 +235,14 @@ func (s *Server) CancelInflight() {
 }
 
 // tenantOf identifies the requester for per-tenant fair-share
-// accounting: the X-Tenant header when present (the contract a
-// front-end router or API gateway uses), the client IP otherwise.
-func tenantOf(r *http.Request) string {
-	if t := r.Header.Get("X-Tenant"); t != "" {
-		return t
+// accounting: the X-Tenant header when the deployment declared a
+// trusted gateway sets it (Config.TrustTenantHeader), the client IP
+// otherwise.
+func (s *Server) tenantOf(r *http.Request) string {
+	if s.cfg.TrustTenantHeader {
+		if t := r.Header.Get("X-Tenant"); t != "" {
+			return t
+		}
 	}
 	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
 		return host
