@@ -108,6 +108,8 @@ func run(args []string) error {
 		breakerCool    = fs.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before a half-open probe")
 		retryBudget    = fs.Int("retry-budget", 10, "token budget for transient graph-load retries (negative = retries off)")
 		watchdogGrace  = fs.Duration("watchdog-grace", 2*time.Second, "how far past its deadline a query may run before the watchdog trips (negative = watchdog off)")
+		batchWindowMs  = fs.Int("batch-window-ms", 2, "how long the first batchable query (bfs/reach/landmarks) waits for companions before the shared sweep fires (0 = default 2ms, negative = batching off)")
+		batchMax       = fs.Int("batch-max", 64, "max query slots per shared multi-source sweep (<= 64, one visit-word bit each)")
 		trustTenant    = fs.Bool("trust-tenant-header", false, "honor the X-Tenant header for fair-share shedding; enable only behind a gateway that sets it (otherwise tenants are client IPs)")
 		logJSON        = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
@@ -134,6 +136,8 @@ func run(args []string) error {
 		BreakerCooldown:   *breakerCool,
 		RetryBudget:       *retryBudget,
 		WatchdogGrace:     *watchdogGrace,
+		BatchWindow:       time.Duration(*batchWindowMs) * time.Millisecond,
+		BatchMax:          *batchMax,
 		TrustTenantHeader: *trustTenant,
 		Logger:            logger,
 	})

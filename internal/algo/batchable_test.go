@@ -1,0 +1,107 @@
+package algo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBatchResultMatchesRunners: a mixed batch of bfs / reach / landmarks
+// queries answered from ONE shared sweep must produce RunResults deeply
+// equal to each query's own unbatched runner invocation — the
+// "semantically invisible" guarantee the serving batch collector relies
+// on.
+func TestBatchResultMatchesRunners(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		n := g.NumVertices()
+		type query struct {
+			algo string
+			p    Params
+		}
+		var queries []query
+		for i := 0; i < 24; i++ {
+			src := uint32(hashU64(3, uint64(i)) % uint64(n))
+			switch i % 3 {
+			case 0:
+				queries = append(queries, query{"bfs", Params{Source: src}})
+			case 1:
+				queries = append(queries, query{"reach", Params{Source: src, Target: uint32(hashU64(5, uint64(i)) % uint64(n))}})
+			default:
+				queries = append(queries, query{"landmarks", Params{Source: src, Landmarks: []uint32{
+					uint32(hashU64(7, uint64(i)) % uint64(n)),
+					uint32(hashU64(9, uint64(i)) % uint64(n)),
+				}}})
+			}
+		}
+		sources := make([]uint32, len(queries))
+		var probes []uint32
+		for i, q := range queries {
+			sources[i] = q.p.Source
+			probes = append(probes, BatchProbes(q.algo, q.p)...)
+		}
+		res, err := ClusterBFSCtx(nil, g, sources, ClusterBFSOptions{Probes: probes})
+		if err != nil {
+			t.Fatalf("%s: %v", gname, err)
+		}
+		for i, q := range queries {
+			runner, ok := FindRunner(q.algo)
+			if !ok {
+				t.Fatalf("no runner %q", q.algo)
+			}
+			want, err := runner.Run(nil, g, q.p)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, q.algo, err)
+			}
+			got := BatchResult(q.algo, res, i, q.p)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: batched %s query %d diverges:\n got %+v\nwant %+v", gname, q.algo, i, got, want)
+			}
+		}
+	}
+}
+
+func TestBatchableSet(t *testing.T) {
+	for _, name := range []string{"bfs", "reach", "landmarks"} {
+		if !Batchable(name) {
+			t.Fatalf("%s should be batchable", name)
+		}
+		if _, ok := FindRunner(name); !ok {
+			t.Fatalf("batchable algorithm %s has no runner", name)
+		}
+	}
+	for _, name := range []string{"pagerank", "components", "bc"} {
+		if Batchable(name) {
+			t.Fatalf("%s must not be batchable", name)
+		}
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	if err := BatchValidate("reach", 10, Params{Target: 10}); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	if err := BatchValidate("reach", 10, Params{Target: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := BatchValidate("landmarks", 10, Params{}); err == nil {
+		t.Fatal("empty landmarks accepted")
+	}
+	if err := BatchValidate("landmarks", 10, Params{Landmarks: []uint32{3, 10}}); err == nil {
+		t.Fatal("out-of-range landmark accepted")
+	}
+	if err := BatchValidate("landmarks", 10, Params{Landmarks: make([]uint32, MaxLandmarks+1)}); err == nil {
+		t.Fatal("oversized landmark list accepted")
+	}
+	if err := BatchValidate("bfs", 10, Params{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunResultEstimateBytes(t *testing.T) {
+	r := RunResult{
+		Summary: "x",
+		Details: map[string]any{"distances": []int64{1, 2, 3}, "source": uint32(4)},
+	}
+	if b := r.EstimateBytes(); b < 24 {
+		t.Fatalf("slice bytes not counted: %d", b)
+	}
+}

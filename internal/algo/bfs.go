@@ -63,7 +63,9 @@ func BFSCtx(ctx context.Context, g graph.View, source uint32, opts core.Options)
 		UpdateAtomic: func(s, d uint32, _ int32) bool {
 			return atomic.CompareAndSwapUint32(&parents[d], core.None, s)
 		},
-		Cond: func(d uint32) bool { return parents[d] == core.None },
+		// Atomic load: sparse workers CAS parents[d] concurrently with
+		// other workers' Cond pre-checks on the same destination.
+		Cond: func(d uint32) bool { return atomic.LoadUint32(&parents[d]) == core.None },
 	}
 
 	// A destination is claimed at most once per round (the CAS / None check
@@ -122,7 +124,9 @@ func BFSLevelsCtx(ctx context.Context, g graph.View, source uint32, opts core.Op
 		UpdateAtomic: func(_, d uint32, _ int32) bool {
 			return atomic.CompareAndSwapInt32(&levels[d], -1, round)
 		},
-		Cond: func(d uint32) bool { return levels[d] == -1 },
+		// Atomic load: sparse workers CAS levels[d] concurrently with
+		// other workers' Cond pre-checks on the same destination.
+		Cond: func(d uint32) bool { return atomic.LoadInt32(&levels[d]) == -1 },
 	}
 	// Same claim-once structure as BFS: dense rounds may early-exit.
 	opts.DenseEarlyExit = true

@@ -2,9 +2,7 @@ package algo
 
 import (
 	"context"
-	"sync/atomic"
 
-	"ligra/internal/atomicx"
 	"ligra/internal/core"
 	"ligra/internal/graph"
 	"ligra/internal/parallel"
@@ -44,6 +42,8 @@ type RadiiResult struct {
 // 64-bit visit vectors. Each round, a vertex whose visit word gains new
 // bits updates its radius estimate to the current round, so the final
 // estimate of v is its distance to the farthest sampled source reaching v.
+// The sweep itself is the ClusterBFS primitive; Radii keeps only the
+// sampling and the per-vertex maximum.
 func Radii(g graph.View, opts RadiiOptions) *RadiiResult {
 	res, err := RadiiCtx(nil, g, opts)
 	if err != nil {
@@ -105,24 +105,27 @@ func RadiiMultiCtx(ctx context.Context, g graph.View, k int, seed uint64, opts c
 // reach them (-1 when unreached) plus the max number of rounds. Sources
 // beyond the 64 that fit one visit word are handled by running batches of
 // 64 and keeping the per-vertex maximum (bit-sharing happens within each
-// batch); no source count panics.
+// batch); no source count panics. Each batch is one ClusterBFS sweep;
+// the MaxLevel it maintains per vertex is exactly the radii estimate.
 func radiiFromSources(ctx context.Context, g graph.View, sources []uint32, emOpts core.Options) ([]int32, int, error) {
-	if len(sources) <= 64 {
-		return radiiBatch(ctx, g, sources, emOpts)
+	if len(sources) <= MaxClusterSources {
+		res, err := clusterSweep(ctx, g, sources, ClusterBFSOptions{EdgeMap: emOpts})
+		return res.MaxLevel, res.Rounds, err
 	}
 	n := g.NumVertices()
 	radii := make([]int32, n)
 	parallel.Fill(radii, int32(-1))
 	rounds := 0
-	for lo := 0; lo < len(sources); lo += 64 {
-		hi := lo + 64
+	for lo := 0; lo < len(sources); lo += MaxClusterSources {
+		hi := lo + MaxClusterSources
 		if hi > len(sources) {
 			hi = len(sources)
 		}
-		batch, r, err := radiiBatch(ctx, g, sources[lo:hi], emOpts)
-		if r > rounds {
-			rounds = r
+		res, err := clusterSweep(ctx, g, sources[lo:hi], ClusterBFSOptions{EdgeMap: emOpts})
+		if res.Rounds > rounds {
+			rounds = res.Rounds
 		}
+		batch := res.MaxLevel
 		parallel.For(n, func(i int) {
 			if batch[i] > radii[i] {
 				radii[i] = batch[i]
@@ -133,67 +136,6 @@ func radiiFromSources(ctx context.Context, g graph.View, sources []uint32, emOpt
 		}
 	}
 	return radii, rounds, nil
-}
-
-// radiiBatch runs one 64-way shared-bit-vector multi-BFS (at most 64
-// sources, one bit each).
-func radiiBatch(ctx context.Context, g graph.View, sources []uint32, emOpts core.Options) ([]int32, int, error) {
-	n := g.NumVertices()
-	radii := make([]int32, n)
-	parallel.Fill(radii, int32(-1))
-	visited := make([]uint64, n)
-	nextVisited := make([]uint64, n)
-	for i, s := range sources {
-		visited[s] = 1 << uint(i)
-		radii[s] = 0
-	}
-
-	round := int32(0)
-	update := func(s, d uint32, _ int32) bool {
-		sBits := atomic.LoadUint64(&visited[s]) // read-only during a round
-		dBits := visited[d]                     // likewise read-only
-		if sBits|dBits == dBits {
-			return false // nothing new to contribute
-		}
-		atomicx.OrUint64(&nextVisited[d], sBits|dBits)
-		// Join the output frontier once per round.
-		return radiiClaim(&radii[d], roundLoad(&round))
-	}
-	funcs := core.EdgeFuncs{Update: update, UpdateAtomic: update}
-
-	frontier := core.NewSparse(n, append([]uint32(nil), sources...))
-	rounds := 0
-	for !frontier.IsEmpty() {
-		atomic.AddInt32(&round, 1)
-		next, err := core.EdgeMapCtx(ctx, g, frontier, funcs, emOpts)
-		if err != nil {
-			return radii, rounds, err
-		}
-		frontier = next
-		core.VertexMap(frontier, func(v uint32) {
-			atomic.StoreUint64(&visited[v], atomic.LoadUint64(&nextVisited[v]))
-		})
-		rounds++
-	}
-	return radii, rounds - 1, nil
-}
-
-// roundLoad reads the shared round counter; it is only written between
-// rounds, so this is a formality that keeps the race detector satisfied.
-func roundLoad(r *int32) int32 { return atomic.LoadInt32(r) }
-
-// radiiClaim sets *addr to round exactly once per round, returning whether
-// this caller performed the transition.
-func radiiClaim(addr *int32, round int32) bool {
-	for {
-		old := atomic.LoadInt32(addr)
-		if old == round {
-			return false // someone already claimed this round
-		}
-		if atomic.CompareAndSwapInt32(addr, old, round) {
-			return true
-		}
-	}
 }
 
 // sampleVertices picks k distinct vertices from [0, n) deterministically

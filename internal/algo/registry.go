@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 
 	"ligra/internal/core"
 	"ligra/internal/graph"
@@ -44,6 +45,12 @@ type Params struct {
 	Mode string `json:"mode,omitempty"`
 	// Threshold overrides the edgeMap dense-switch threshold (0 = |E|/20).
 	Threshold int64 `json:"threshold,omitempty"`
+	// Target is the destination vertex for the reach algorithm (defaults
+	// to vertex 0, like Source).
+	Target uint32 `json:"target,omitempty"`
+	// Landmarks are the vertices the landmarks algorithm reports
+	// distances to; required (and only meaningful) for that algorithm.
+	Landmarks []uint32 `json:"landmarks,omitempty"`
 
 	// EdgeMap carries the non-serializable per-run extras (tracing, a
 	// fallback context, a per-call proc cap) that EdgeMapOptions merges
@@ -74,11 +81,18 @@ func (p Params) Canonical() string {
 	if mode == "" {
 		mode = "auto"
 	}
-	return fmt.Sprintf("source=%d seed=%d k=%d delta=%d alpha=%s eps=%s mode=%s threshold=%d",
+	var lms strings.Builder
+	for i, l := range p.Landmarks {
+		if i > 0 {
+			lms.WriteByte(',')
+		}
+		lms.WriteString(strconv.FormatUint(uint64(l), 10))
+	}
+	return fmt.Sprintf("source=%d seed=%d k=%d delta=%d alpha=%s eps=%s mode=%s threshold=%d target=%d landmarks=%s",
 		p.Source, p.Seed, p.K, p.Delta,
 		strconv.FormatFloat(p.Alpha, 'g', -1, 64),
 		strconv.FormatFloat(p.Eps, 'g', -1, 64),
-		mode, p.Threshold)
+		mode, p.Threshold, p.Target, lms.String())
 }
 
 // EdgeMapOptions resolves Mode and Threshold on top of the EdgeMap extras,
@@ -184,6 +198,35 @@ var runners = []Runner{
 				Summary: fmt.Sprintf("BFS from %d: visited %d vertices in %d rounds", p.Source, res.Visited, res.Rounds),
 				Details: map[string]any{"source": p.Source, "visited": res.Visited, "rounds": res.Rounds},
 			}, err
+		},
+	},
+	{
+		Name: "reach", NeedsSource: true, Cancellable: true,
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			if err := BatchValidate("reach", g.NumVertices(), p); err != nil {
+				return RunResult{}, err
+			}
+			// One-source ClusterBFS with the target as a probe: the
+			// single-query path and the batched path share the sweep and
+			// the extraction, so batching cannot change answers.
+			res, err := ClusterBFSCtx(ctx, g, []uint32{p.Source}, ClusterBFSOptions{
+				EdgeMap: p.EdgeMapOptions(),
+				Probes:  BatchProbes("reach", p),
+			})
+			return BatchResult("reach", res, 0, p), err
+		},
+	},
+	{
+		Name: "landmarks", NeedsSource: true, Cancellable: true,
+		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			if err := BatchValidate("landmarks", g.NumVertices(), p); err != nil {
+				return RunResult{}, err
+			}
+			res, err := ClusterBFSCtx(ctx, g, []uint32{p.Source}, ClusterBFSOptions{
+				EdgeMap: p.EdgeMapOptions(),
+				Probes:  BatchProbes("landmarks", p),
+			})
+			return BatchResult("landmarks", res, 0, p), err
 		},
 	},
 	{

@@ -23,7 +23,11 @@ func TestEveryRunnerRuns(t *testing.T) {
 		if r.NeedsWeights {
 			view = wg
 		}
-		res, err := r.Run(context.Background(), view, Params{Source: 0})
+		p := Params{Source: 0}
+		if r.Name == "landmarks" {
+			p.Landmarks = []uint32{1, 2}
+		}
+		res, err := r.Run(context.Background(), view, p)
 		if err != nil {
 			t.Fatalf("%s: %v", r.Name, err)
 		}
@@ -71,7 +75,11 @@ func TestCancellableRunnersReturnPartial(t *testing.T) {
 		if r.NeedsWeights {
 			view = wg
 		}
-		_, err := r.Run(ctx, view, Params{Source: 0})
+		p := Params{Source: 0}
+		if r.Name == "landmarks" {
+			p.Landmarks = []uint32{1} // validation precedes the sweep
+		}
+		_, err := r.Run(ctx, view, p)
 		if !errors.Is(err, context.Canceled) {
 			t.Errorf("%s: err = %v, want context.Canceled", r.Name, err)
 		}

@@ -118,16 +118,14 @@ func AddUint32(addr *uint32, delta uint32) uint32 {
 }
 
 // OrUint64 atomically ORs mask into *addr and returns the previous value.
+// The plain-load fast path skips the locked instruction when every mask
+// bit is already set — the common case for visit-word propagation, where
+// most edges deliver bits a hub has already received.
 func OrUint64(addr *uint64, mask uint64) uint64 {
-	for {
-		old := atomic.LoadUint64(addr)
-		if old|mask == old {
-			return old
-		}
-		if atomic.CompareAndSwapUint64(addr, old, old|mask) {
-			return old
-		}
+	if old := atomic.LoadUint64(addr); old|mask == old {
+		return old
 	}
+	return atomic.OrUint64(addr, mask)
 }
 
 // TestAndSetBool atomically sets *addr (stored as a uint32 0/1 flag) to 1

@@ -494,10 +494,11 @@ func Experiments() map[string]func(Config) error {
 		"hotpath":      HotPath,
 		"servecache":   ServeCache,
 		"scheduler":    Scheduler,
+		"batch":        Batch,
 	}
 }
 
 // ExperimentOrder lists the IDs in presentation order.
 func ExperimentOrder() []string {
-	return []string{"table1", "table2", "scalability", "frontier", "threshold", "denseforward", "compress", "dedup", "bucketing", "hotpath", "servecache", "scheduler"}
+	return []string{"table1", "table2", "scalability", "frontier", "threshold", "denseforward", "compress", "dedup", "bucketing", "hotpath", "servecache", "scheduler", "batch"}
 }

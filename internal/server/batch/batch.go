@@ -1,0 +1,356 @@
+// Package batch collects concurrent batchable queries (bfs, reach,
+// landmarks — anything algo.Batchable) into shared ClusterBFS sweeps: up
+// to 64 queries arriving within a small window against the same (graph,
+// generation, traversal shape) each contribute one source bit and are
+// answered from one pass over the edge set, instead of each paying a full
+// traversal. The collector sits beside engine.Execute in the serving
+// path: it reuses the engine's result cache (per-slot lookups and fills)
+// and its parallelism governor (one lease per sweep), while the engine's
+// single-flight coalescing is subsumed by slot coalescing — identical
+// keys joining one window share a slot outright.
+package batch
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"ligra/internal/algo"
+	"ligra/internal/parallel"
+	"ligra/internal/server/engine"
+)
+
+// Config parameterizes a Collector.
+type Config struct {
+	// Window is how long the first query of a batch waits for company
+	// before the sweep fires; 0 selects 2ms.
+	Window time.Duration
+	// MaxBatch caps the sources per sweep; 0 selects 64, values beyond
+	// 64 are clamped (the visit word has 64 bits). A full batch fires
+	// immediately without waiting out the window.
+	MaxBatch int
+}
+
+func (c Config) window() time.Duration {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return 2 * time.Millisecond
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch <= 0 || c.MaxBatch > 64 {
+		return 64
+	}
+	return c.MaxBatch
+}
+
+// Request is one query's seat in a batch.
+type Request struct {
+	// Key is the query's cache identity (graph, generation, algo,
+	// canonical params); identical Keys in one window coalesce to a
+	// single slot.
+	Key engine.Key
+	// Shape groups queries that may share a sweep: same graph,
+	// generation, and edgeMap strategy. The algorithm name is NOT part
+	// of the shape — a bfs, a reach, and a landmarks query can ride the
+	// same traversal.
+	Shape string
+	// Algo and Params identify what to extract for this slot from the
+	// shared sweep (see ClusterRun).
+	Algo   string
+	Params algo.Params
+}
+
+// RunFunc executes one gathered batch: slots are the coalesced requests
+// (one source each), ctx carries the sweep's proc lease, and the returned
+// values must align index-wise with slots.
+type RunFunc func(ctx context.Context, procs int, slots []Request) ([]engine.Value, error)
+
+// Info reports how a request was satisfied, mirroring engine.Info with
+// the batch dimension added.
+type Info struct {
+	// Cached: served from the result cache without joining a batch.
+	Cached bool
+	// Coalesced: shared a slot with an identical query in the same
+	// window.
+	Coalesced bool
+	// Batched: answered by a shared sweep (true for every non-cached
+	// outcome, even a batch of one).
+	Batched bool
+	// BatchSize is the number of slots in the sweep that answered this
+	// request (0 when Cached).
+	BatchSize int
+	// Procs is the parallelism lease the sweep ran under (0 when
+	// Cached).
+	Procs int
+}
+
+// Collector gathers batchable queries into shared sweeps.
+type Collector struct {
+	base   context.Context
+	cache  *engine.Cache // nil-safe, may be nil (caching disabled)
+	gov    *engine.Governor
+	window time.Duration
+	max    int
+
+	mu      sync.Mutex
+	pending map[string]*batch // by Shape
+
+	stats struct {
+		batches      int64
+		queries      int64
+		slots        int64
+		windowFires  int64
+		fanoutErrors int64
+	}
+}
+
+// New builds a Collector. base is the server's lifetime context (its
+// cancellation aborts in-flight sweeps); cache may be nil; gov must not
+// be.
+func New(base context.Context, cache *engine.Cache, gov *engine.Governor, cfg Config) *Collector {
+	if base == nil {
+		base = context.Background()
+	}
+	return &Collector{
+		base:    base,
+		cache:   cache,
+		gov:     gov,
+		window:  cfg.window(),
+		max:     cfg.maxBatch(),
+		pending: make(map[string]*batch),
+	}
+}
+
+// batch is one forming or running sweep.
+type batch struct {
+	shape  string
+	run    RunFunc
+	timer  *time.Timer
+	slots  []Request
+	byKey  map[engine.Key]int
+	fired  bool
+	// waiters counts callers still wanting an answer; the last one to
+	// detach cancels the sweep (or drops the batch if it never fired).
+	waiters int
+	cancel  context.CancelFunc
+
+	done  chan struct{} // closed when vals/err/procs are published
+	vals  []engine.Value
+	err   error
+	procs int
+}
+
+// Execute satisfies one query: from the cache if possible, otherwise by
+// seating it in a batch, waiting out the window (or until the batch
+// fills), and fanning the sweep's result back. The caller's ctx only
+// governs its own wait: a canceled caller abandons its slot and the sweep
+// keeps serving the others.
+func (c *Collector) Execute(ctx context.Context, req Request, run RunFunc) (engine.Value, Info, error) {
+	if v, ok := c.cache.Get(req.Key); ok {
+		return v, Info{Cached: true}, nil
+	}
+
+	c.mu.Lock()
+	b := c.pending[req.Shape]
+	if b == nil {
+		b = &batch{
+			shape:   req.Shape,
+			run:     run,
+			byKey:   map[engine.Key]int{req.Key: 0},
+			slots:   []Request{req},
+			waiters: 1,
+			done:    make(chan struct{}),
+		}
+		c.pending[req.Shape] = b
+		b.timer = time.AfterFunc(c.window, func() { c.fire(b, true) })
+		c.mu.Unlock()
+		return c.wait(ctx, b, req, 0, false)
+	}
+	if idx, ok := b.byKey[req.Key]; ok {
+		// Identical query already seated: share its slot.
+		b.waiters++
+		c.mu.Unlock()
+		return c.wait(ctx, b, req, idx, true)
+	}
+	idx := len(b.slots)
+	b.slots = append(b.slots, req)
+	b.byKey[req.Key] = idx
+	b.waiters++
+	full := len(b.slots) >= c.max
+	c.mu.Unlock()
+	if full {
+		c.fire(b, false)
+	}
+	return c.wait(ctx, b, req, idx, false)
+}
+
+// fire transitions a batch from forming to running. byTimer records
+// whether the window elapsed (vs the batch filling). Idempotent: the
+// timer and a fill can race.
+func (c *Collector) fire(b *batch, byTimer bool) {
+	c.mu.Lock()
+	if b.fired {
+		c.mu.Unlock()
+		return
+	}
+	b.fired = true
+	delete(c.pending, b.shape)
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	if b.waiters == 0 {
+		// Everyone detached while the batch was forming; nothing to do.
+		b.err = context.Canceled
+		c.mu.Unlock()
+		close(b.done)
+		return
+	}
+	slots := b.slots
+	var bctx context.Context
+	bctx, b.cancel = context.WithCancel(c.base)
+	c.stats.batches++
+	c.stats.queries += int64(b.waiters)
+	c.stats.slots += int64(len(slots))
+	if byTimer {
+		c.stats.windowFires++
+	}
+	c.mu.Unlock()
+
+	// The sweep runs on its own goroutine so a caller whose batch fired
+	// by filling up can still time out or detach while it runs.
+	go c.runBatch(b, bctx, slots)
+}
+
+// runBatch executes the sweep under a governor lease with panic
+// containment, fills the cache per slot, and publishes the outcome.
+func (c *Collector) runBatch(b *batch, bctx context.Context, slots []Request) {
+	procs, release := c.gov.Acquire()
+	defer release()
+
+	vals, err := c.safeRun(b.run, parallel.WithProcs(bctx, procs), procs, slots)
+	if err == nil && len(vals) != len(slots) {
+		err = errBadFanout(len(vals), len(slots))
+	}
+	if err == nil {
+		for i, req := range slots {
+			c.cache.Put(req.Key, vals[i])
+		}
+	} else {
+		c.mu.Lock()
+		c.stats.fanoutErrors += int64(len(slots))
+		c.mu.Unlock()
+	}
+
+	b.vals, b.err, b.procs = vals, err, procs
+	close(b.done)
+	if b.cancel != nil {
+		b.cancel()
+	}
+}
+
+// safeRun invokes the batch RunFunc with the same panic containment the
+// single-query path has: a panic anywhere in the sweep becomes a
+// *parallel.PanicError delivered to every waiter, never a process crash.
+func (c *Collector) safeRun(run RunFunc, ctx context.Context, procs int, slots []Request) (vals []engine.Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*parallel.PanicError); ok {
+				err = pe
+				return
+			}
+			err = &parallel.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return run(ctx, procs, slots)
+}
+
+// wait blocks until the batch publishes or the caller's own ctx ends.
+func (c *Collector) wait(ctx context.Context, b *batch, req Request, idx int, coalesced bool) (engine.Value, Info, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-b.done:
+		info := Info{Coalesced: coalesced, Batched: true, BatchSize: len(b.slots), Procs: b.procs}
+		if b.err != nil {
+			return engine.Value{}, info, b.err
+		}
+		return b.vals[idx], info, nil
+	case <-done:
+		size := c.detach(b)
+		return engine.Value{}, Info{Coalesced: coalesced, Batched: true, BatchSize: size}, ctx.Err()
+	}
+}
+
+// detach abandons one caller's seat, returning the batch's current slot
+// count for the caller's Info. The batch (and its other waiters) is
+// unaffected unless this was the last waiter: then a running sweep is
+// cancelled, and a still-forming batch is dropped before it ever fires.
+func (c *Collector) detach(b *batch) int {
+	c.mu.Lock()
+	b.waiters--
+	last := b.waiters == 0
+	size := len(b.slots)
+	if last && !b.fired {
+		// Nobody left to hear the answer: retire the batch unrun.
+		b.fired = true
+		delete(c.pending, b.shape)
+		if b.timer != nil {
+			b.timer.Stop()
+		}
+		b.err = context.Canceled
+		c.mu.Unlock()
+		close(b.done)
+		return size
+	}
+	cancel := b.cancel
+	c.mu.Unlock()
+	if last && cancel != nil {
+		cancel()
+	}
+	return size
+}
+
+// Stats is a point-in-time snapshot of the collector's counters, in the
+// JSON shape /metrics serves.
+type Stats struct {
+	// BatchesRun counts sweeps executed (including batches of one).
+	BatchesRun int64 `json:"batches_run"`
+	// QueriesBatched counts queries answered by sweeps (slot-coalesced
+	// queries each count).
+	QueriesBatched int64 `json:"queries_batched"`
+	// MeanBatchSize is slots per sweep, averaged over all sweeps.
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	// WindowWaits counts sweeps that fired because the window elapsed
+	// (the rest fired full).
+	WindowWaits int64 `json:"window_waits"`
+	// FanoutErrors counts slots whose sweep failed (every seated query
+	// of a failed sweep counts once).
+	FanoutErrors int64 `json:"fanout_errors"`
+}
+
+// Stats returns the current counters.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		BatchesRun:     c.stats.batches,
+		QueriesBatched: c.stats.queries,
+		WindowWaits:    c.stats.windowFires,
+		FanoutErrors:   c.stats.fanoutErrors,
+	}
+	if c.stats.batches > 0 {
+		s.MeanBatchSize = float64(c.stats.slots) / float64(c.stats.batches)
+	}
+	return s
+}
+
+// errBadFanout flags a RunFunc that broke the slot-alignment contract.
+func errBadFanout(got, want int) error {
+	return fmt.Errorf("batch: run returned %d values for %d slots", got, want)
+}

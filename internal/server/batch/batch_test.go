@@ -1,0 +1,447 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ligra/internal/algo"
+	"ligra/internal/gen"
+	"ligra/internal/parallel"
+	"ligra/internal/server/engine"
+)
+
+func key(i int) engine.Key {
+	return engine.Key{Graph: "g", Generation: 1, Algo: "bfs", Params: fmt.Sprintf("source=%d", i)}
+}
+
+func req(i int) Request {
+	return Request{Key: key(i), Shape: "g/1/auto", Algo: "bfs", Params: algo.Params{Source: uint32(i)}}
+}
+
+// echoRun answers each slot with its own key's params string.
+func echoRun(runs *atomic.Int64) RunFunc {
+	return func(ctx context.Context, procs int, slots []Request) ([]engine.Value, error) {
+		runs.Add(1)
+		vals := make([]engine.Value, len(slots))
+		for i, s := range slots {
+			vals[i] = engine.Value{Data: s.Key.Params, Bytes: int64(len(s.Key.Params))}
+		}
+		return vals, nil
+	}
+}
+
+func newCollector(cacheBytes int64, cfg Config) *Collector {
+	return New(context.Background(), engine.NewCache(cacheBytes), engine.NewGovernor(4, 0), cfg)
+}
+
+// TestBatchGathersWindow: K concurrent distinct queries within one window
+// run as ONE sweep and every caller gets its own slot's value.
+func TestBatchGathersWindow(t *testing.T) {
+	var runs atomic.Int64
+	c := newCollector(1<<20, Config{Window: 50 * time.Millisecond})
+	const K = 16
+	var wg sync.WaitGroup
+	errs := make([]error, K)
+	vals := make([]engine.Value, K)
+	infos := make([]Info, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], infos[i], errs[i] = c.Execute(context.Background(), req(i), echoRun(&runs))
+		}(i)
+	}
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("runs = %d, want 1", got)
+	}
+	for i := 0; i < K; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if vals[i].Data != key(i).Params {
+			t.Fatalf("caller %d got %v", i, vals[i].Data)
+		}
+		if !infos[i].Batched || infos[i].BatchSize != K || infos[i].Cached {
+			t.Fatalf("caller %d info %+v", i, infos[i])
+		}
+	}
+	s := c.Stats()
+	if s.BatchesRun != 1 || s.QueriesBatched != K || s.MeanBatchSize != K || s.WindowWaits != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestSlotCoalescing: identical keys in one window share a slot; both get
+// the value, the later one marked Coalesced; the sweep sees one slot.
+func TestSlotCoalescing(t *testing.T) {
+	var runs atomic.Int64
+	var slotCount atomic.Int64
+	run := func(ctx context.Context, procs int, slots []Request) ([]engine.Value, error) {
+		runs.Add(1)
+		slotCount.Store(int64(len(slots)))
+		vals := make([]engine.Value, len(slots))
+		for i := range slots {
+			vals[i] = engine.Value{Data: "v"}
+		}
+		return vals, nil
+	}
+	c := newCollector(0, Config{Window: 50 * time.Millisecond}) // cache off: coalescing must not depend on it
+	const K = 8
+	var wg sync.WaitGroup
+	infos := make([]Info, K)
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, infos[i], errs[i] = c.Execute(context.Background(), req(7), run)
+		}(i)
+	}
+	wg.Wait()
+	if runs.Load() != 1 || slotCount.Load() != 1 {
+		t.Fatalf("runs=%d slots=%d, want 1/1", runs.Load(), slotCount.Load())
+	}
+	coalesced := 0
+	for i := range infos {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if infos[i].Coalesced {
+			coalesced++
+		}
+	}
+	if coalesced != K-1 {
+		t.Fatalf("coalesced = %d, want %d", coalesced, K-1)
+	}
+	if s := c.Stats(); s.QueriesBatched != K || s.MeanBatchSize != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestFullBatchFiresEarly: a batch that reaches MaxBatch fires without
+// waiting out the window.
+func TestFullBatchFiresEarly(t *testing.T) {
+	var runs atomic.Int64
+	c := newCollector(1<<20, Config{Window: time.Hour, MaxBatch: 4})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := c.Execute(context.Background(), req(i), echoRun(&runs)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("batch waited for the window despite being full")
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("runs = %d", runs.Load())
+	}
+	if s := c.Stats(); s.WindowWaits != 0 {
+		t.Fatalf("full batch counted as window wait: %+v", s)
+	}
+}
+
+// TestCallerCancelMidBatch: one caller cancels while the sweep runs; it
+// gets its ctx error immediately, the others still get their results, and
+// the sweep is NOT cancelled.
+func TestCallerCancelMidBatch(t *testing.T) {
+	release := make(chan struct{})
+	sawCancel := make(chan bool, 1)
+	run := func(ctx context.Context, procs int, slots []Request) ([]engine.Value, error) {
+		<-release
+		select {
+		case <-ctx.Done():
+			sawCancel <- true
+			return nil, ctx.Err()
+		default:
+			sawCancel <- false
+		}
+		vals := make([]engine.Value, len(slots))
+		for i, s := range slots {
+			vals[i] = engine.Value{Data: s.Key.Params}
+		}
+		return vals, nil
+	}
+	c := newCollector(1<<20, Config{Window: 10 * time.Millisecond})
+	cctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	cancelled := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := c.Execute(cctx, req(0), run)
+		cancelled <- err
+	}()
+	okVals := make([]engine.Value, 3)
+	okErrs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			okVals[i], _, okErrs[i] = c.Execute(context.Background(), req(i+1), run)
+		}(i)
+	}
+	time.Sleep(30 * time.Millisecond) // let the window fire; run blocks on release
+	cancel()
+	// The cancelled caller must return promptly even though the sweep is
+	// still blocked on release.
+	var cancelErr error
+	select {
+	case cancelErr = <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled caller did not return")
+	}
+	close(release)
+	wg.Wait()
+	if !errors.Is(cancelErr, context.Canceled) {
+		t.Fatalf("cancelled caller err = %v", cancelErr)
+	}
+	if <-sawCancel {
+		t.Fatal("sweep was cancelled although waiters remained")
+	}
+	for i := 0; i < 3; i++ {
+		if okErrs[i] != nil || okVals[i].Data != key(i+1).Params {
+			t.Fatalf("sibling %d: val=%v err=%v", i, okVals[i].Data, okErrs[i])
+		}
+	}
+}
+
+// TestAllCallersCancelStopsSweep: when every waiter detaches, the batch
+// context is cancelled so the sweep can stop early.
+func TestAllCallersCancelStopsSweep(t *testing.T) {
+	started := make(chan struct{})
+	stopped := make(chan error, 1)
+	run := func(ctx context.Context, procs int, slots []Request) ([]engine.Value, error) {
+		close(started)
+		select {
+		case <-ctx.Done():
+			stopped <- ctx.Err()
+			return nil, ctx.Err()
+		case <-time.After(30 * time.Second):
+			stopped <- nil
+			return nil, errors.New("never cancelled")
+		}
+	}
+	c := newCollector(1<<20, Config{Window: 5 * time.Millisecond})
+	cctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Execute(cctx, req(0), run)
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller err = %v", err)
+	}
+	select {
+	case err := <-stopped:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("sweep saw %v, want cancellation", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sweep never observed cancellation")
+	}
+}
+
+// TestDetachBeforeFireDropsBatch: a caller that cancels while the batch
+// is still forming (long window) retires the batch without running it.
+func TestDetachBeforeFireDropsBatch(t *testing.T) {
+	var runs atomic.Int64
+	c := newCollector(1<<20, Config{Window: time.Hour})
+	cctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Execute(cctx, req(0), echoRun(&runs))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if runs.Load() != 0 {
+		t.Fatal("abandoned batch still ran")
+	}
+	c.mu.Lock()
+	pending := len(c.pending)
+	c.mu.Unlock()
+	if pending != 0 {
+		t.Fatal("abandoned batch left in pending")
+	}
+	if s := c.Stats(); s.BatchesRun != 0 {
+		t.Fatalf("abandoned batch counted: %+v", s)
+	}
+}
+
+// TestPanicFanout: a panic inside the sweep becomes a *parallel.PanicError
+// for EVERY waiter, counts fanout errors, and leaves the collector usable.
+func TestPanicFanout(t *testing.T) {
+	boom := func(ctx context.Context, procs int, slots []Request) ([]engine.Value, error) {
+		panic("sweep exploded")
+	}
+	c := newCollector(1<<20, Config{Window: 20 * time.Millisecond})
+	const K = 5
+	var wg sync.WaitGroup
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = c.Execute(context.Background(), req(i), boom)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < K; i++ {
+		var pe *parallel.PanicError
+		if !errors.As(errs[i], &pe) {
+			t.Fatalf("caller %d err = %v, want *parallel.PanicError", i, errs[i])
+		}
+	}
+	if s := c.Stats(); s.FanoutErrors != K {
+		t.Fatalf("fanout_errors = %d, want %d", s.FanoutErrors, K)
+	}
+	// Collector still works after the panic.
+	var runs atomic.Int64
+	if _, _, err := c.Execute(context.Background(), req(99), echoRun(&runs)); err != nil {
+		t.Fatalf("post-panic execute: %v", err)
+	}
+}
+
+// TestCacheInteraction: a hit skips batching entirely; a successful sweep
+// fills the cache per slot so repeats are hits.
+func TestCacheInteraction(t *testing.T) {
+	var runs atomic.Int64
+	c := newCollector(1<<20, Config{Window: 5 * time.Millisecond})
+	v, info, err := c.Execute(context.Background(), req(1), echoRun(&runs))
+	if err != nil || info.Cached {
+		t.Fatalf("first: %+v %v", info, err)
+	}
+	v2, info2, err := c.Execute(context.Background(), req(1), echoRun(&runs))
+	if err != nil || !info2.Cached || info2.Batched {
+		t.Fatalf("second: %+v %v", info2, err)
+	}
+	if v2.Data != v.Data {
+		t.Fatal("cache returned a different value")
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("runs = %d, want 1 (second served from cache)", runs.Load())
+	}
+	// Pre-seeded cache short-circuits too.
+	c.cache.Put(key(42), engine.Value{Data: "seeded", Bytes: 6})
+	v3, info3, err := c.Execute(context.Background(), req(42), echoRun(&runs))
+	if err != nil || !info3.Cached || v3.Data != "seeded" {
+		t.Fatalf("seeded: %v %+v %v", v3.Data, info3, err)
+	}
+}
+
+// TestShapeIsolation: different shapes never share a batch.
+func TestShapeIsolation(t *testing.T) {
+	var runs atomic.Int64
+	c := newCollector(1<<20, Config{Window: 30 * time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := req(i)
+			if i%2 == 1 {
+				r.Shape = "other-shape"
+			}
+			if _, _, err := c.Execute(context.Background(), r, echoRun(&runs)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if runs.Load() != 2 {
+		t.Fatalf("runs = %d, want 2 (one per shape)", runs.Load())
+	}
+}
+
+// TestBadFanoutIsError: a RunFunc returning misaligned values is an error
+// for every caller, not a silent wrong answer.
+func TestBadFanoutIsError(t *testing.T) {
+	bad := func(ctx context.Context, procs int, slots []Request) ([]engine.Value, error) {
+		return make([]engine.Value, len(slots)+1), nil
+	}
+	c := newCollector(1<<20, Config{Window: time.Millisecond})
+	if _, _, err := c.Execute(context.Background(), req(0), bad); err == nil {
+		t.Fatal("misaligned fanout accepted")
+	}
+}
+
+// TestClusterRunEndToEnd: the standard sweep RunFunc through the
+// collector answers mixed bfs/reach/landmarks queries identically to the
+// unbatched runners.
+func TestClusterRunEndToEnd(t *testing.T) {
+	g, err := gen.RMAT(9, 8, gen.PBBSRMAT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	c := newCollector(0, Config{Window: 40 * time.Millisecond}) // cache off: every query must traverse
+	type q struct {
+		name string
+		p    algo.Params
+	}
+	queries := []q{
+		{"bfs", algo.Params{Source: 1}},
+		{"bfs", algo.Params{Source: uint32(n - 1)}},
+		{"reach", algo.Params{Source: 2, Target: uint32(n / 2)}},
+		{"landmarks", algo.Params{Source: 3, Landmarks: []uint32{0, uint32(n / 3), uint32(n - 2)}}},
+	}
+	run := ClusterRun(g)
+	var wg sync.WaitGroup
+	got := make([]engine.Value, len(queries))
+	infos := make([]Info, len(queries))
+	for i, qu := range queries {
+		wg.Add(1)
+		go func(i int, qu q) {
+			defer wg.Done()
+			r := Request{
+				Key:    engine.Key{Graph: "g", Generation: 1, Algo: qu.name, Params: qu.p.Canonical()},
+				Shape:  "g/1/auto/0",
+				Algo:   qu.name,
+				Params: qu.p,
+			}
+			var err error
+			got[i], infos[i], err = c.Execute(context.Background(), r, run)
+			if err != nil {
+				t.Error(err)
+			}
+		}(i, qu)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i, qu := range queries {
+		runner, ok := algo.FindRunner(qu.name)
+		if !ok {
+			t.Fatalf("no runner %s", qu.name)
+		}
+		want, err := runner.Run(context.Background(), g, qu.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i].Data, want) {
+			t.Fatalf("query %d (%s) diverges:\n got %+v\nwant %+v", i, qu.name, got[i].Data, want)
+		}
+		if !infos[i].Batched || infos[i].BatchSize != len(queries) {
+			t.Fatalf("query %d info %+v", i, infos[i])
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"ligra/internal/gen"
 	"ligra/internal/graph"
 	"ligra/internal/parallel"
+	"ligra/internal/server/batch"
 	"ligra/internal/server/engine"
 	"ligra/internal/server/resilience"
 )
@@ -111,7 +112,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.reg, s.engine, s.resilienceSnapshot()))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.reg, s.engine, s.resilienceSnapshot(), s.batcher))
 }
 
 // resilienceSnapshot assembles the /metrics resilience block from the
@@ -297,6 +298,11 @@ type queryResponse struct {
 	Cached    bool `json:"cached,omitempty"`
 	Coalesced bool `json:"coalesced,omitempty"`
 	Procs     int  `json:"procs,omitempty"`
+	// Batched marks a result answered by a shared multi-source sweep;
+	// BatchSize is how many query slots that sweep served (1 = a batch
+	// of one; the answer is identical either way).
+	Batched   bool `json:"batched,omitempty"`
+	BatchSize int  `json:"batch_size,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -337,6 +343,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		source = uint32(*req.Source)
+	}
+	// Batchable algorithms validate their extra parameters (reach
+	// targets, landmark lists) up front: the batched path extracts
+	// answers straight from the shared sweep, so a range error must be
+	// rejected here rather than silently read as "unreachable".
+	if err := algo.BatchValidate(runner.Name, g.NumVertices(), req.Params); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 
 	// Circuit breaker: a combination that keeps panicking or blowing
@@ -435,12 +449,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	wid := s.watchdog.Watch(name, runner.Name, qDeadline)
 	start := time.Now()
-	val, how, err := s.engine.Execute(ctx, key, func(runCtx context.Context, procs int) (engine.Value, error) {
-		p := params
-		p.EdgeMap.Procs = procs // cap every edgeMap of the run at the lease
-		res, err := safeRun(runner, runCtx, g, p)
-		return engine.Value{Data: res, Bytes: estimateResultBytes(res)}, err
-	})
+	var val engine.Value
+	var how engine.Info
+	var binfo batch.Info
+	if s.batcher != nil && algo.Batchable(runner.Name) {
+		// Batched path: the query contributes one source bit to a shared
+		// ClusterBFS sweep over every compatible query in the window.
+		// The shape key admits any batchable algorithm against the same
+		// graph generation and traversal options; cache lookups/fills
+		// and slot coalescing happen inside the collector, so the
+		// engine's single-flight layer is bypassed, not duplicated.
+		val, binfo, err = s.batcher.Execute(ctx, batch.Request{
+			Key:    key,
+			Shape:  fmt.Sprintf("%s gen=%d mode=%s threshold=%d", name, info.Generation, params.Mode, params.Threshold),
+			Algo:   runner.Name,
+			Params: params,
+		}, batch.ClusterRun(g))
+		how = engine.Info{Cached: binfo.Cached, Coalesced: binfo.Coalesced, Procs: binfo.Procs}
+	} else {
+		val, how, err = s.engine.Execute(ctx, key, func(runCtx context.Context, procs int) (engine.Value, error) {
+			p := params
+			p.EdgeMap.Procs = procs // cap every edgeMap of the run at the lease
+			res, err := safeRun(runner, runCtx, g, p)
+			return engine.Value{Data: res, Bytes: res.EstimateBytes()}, err
+		})
+	}
 	elapsed := float64(time.Since(start).Microseconds()) / 1000
 	s.watchdog.Done(wid)
 	s.metrics.InFlight.Add(-1)
@@ -460,6 +493,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Graph: name, Algo: runner.Name,
 		Summary: res.Summary, Details: sanitizeDetails(res.Details), ElapsedMs: elapsed,
 		Cached: how.Cached, Coalesced: how.Coalesced, Procs: how.Procs,
+		Batched: binfo.Batched, BatchSize: binfo.BatchSize,
 	}
 	var pe *parallel.PanicError
 	var re *algo.RoundError
@@ -512,17 +546,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Error = err.Error()
 		writeJSON(w, http.StatusBadRequest, resp)
 	}
-}
-
-// estimateResultBytes approximates a RunResult's heap footprint for the
-// result cache's byte budget: the summary string plus each detail's key
-// and boxed scalar value.
-func estimateResultBytes(res algo.RunResult) int64 {
-	b := int64(len(res.Summary))
-	for k := range res.Details {
-		b += int64(len(k)) + 48
-	}
-	return b
 }
 
 // sanitizeDetails renders non-finite floats as strings, which

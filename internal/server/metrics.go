@@ -7,6 +7,7 @@ import (
 
 	"ligra/internal/core"
 	"ligra/internal/parallel"
+	"ligra/internal/server/batch"
 	"ligra/internal/server/engine"
 	"ligra/internal/server/resilience"
 )
@@ -99,6 +100,10 @@ type Snapshot struct {
 	// shed decisions by reason, breaker transitions and current open
 	// states, retry-budget spend, and watchdog trips.
 	Resilience ResilienceSnapshot `json:"resilience"`
+	// Batch is the batch collector's counter set (sweeps run, queries
+	// batched, mean batch size, window fires, fanout errors); all-zero
+	// when batching is disabled.
+	Batch batch.Stats `json:"batch"`
 }
 
 // ResilienceSnapshot is the /metrics "resilience" block, flattening the
@@ -118,9 +123,10 @@ type ResilienceSnapshot struct {
 }
 
 // Snapshot captures every counter plus the registry's per-graph memory
-// estimates, the query engine's counters (eng may be nil), and the
-// resilience block assembled by the caller.
-func (m *Metrics) Snapshot(reg *Registry, eng *engine.Engine, res ResilienceSnapshot) Snapshot {
+// estimates, the query engine's counters (eng may be nil), the
+// resilience block assembled by the caller, and the batch collector's
+// counters (bat may be nil).
+func (m *Metrics) Snapshot(reg *Registry, eng *engine.Engine, res ResilienceSnapshot, bat *batch.Collector) Snapshot {
 	s := Snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		InFlight:      m.InFlight.Value(),
@@ -151,5 +157,8 @@ func (m *Metrics) Snapshot(reg *Registry, eng *engine.Engine, res ResilienceSnap
 	s.Traversal = core.SnapshotStats()
 	s.Scheduler = parallel.SchedulerSnapshot()
 	s.Resilience = res
+	if bat != nil {
+		s.Batch = bat.Stats()
+	}
 	return s
 }

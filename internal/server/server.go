@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ligra/internal/server/batch"
 	"ligra/internal/server/engine"
 	"ligra/internal/server/resilience"
 )
@@ -36,6 +37,14 @@ type Config struct {
 	// the parallelism governor; 0 selects GOMAXPROCS (a lone query still
 	// uses the whole machine; concurrent queries share it).
 	MaxQueryProcs int
+	// BatchWindow is how long the first batchable query (bfs, reach,
+	// landmarks) waits for companions before its shared ClusterBFS sweep
+	// fires; 0 selects 2ms; negative disables batching entirely (every
+	// query goes through the engine alone).
+	BatchWindow time.Duration
+	// BatchMax caps the query slots per shared sweep; 0 selects 64,
+	// which is also the hard ceiling (one visit-word bit per slot).
+	BatchMax int
 
 	// ShedTarget is the service-level objective for admission queue
 	// wait: once observed waits (EWMA) or the backlog's predicted wait
@@ -119,6 +128,17 @@ func (c Config) watchdogGrace() time.Duration {
 	}
 }
 
+func (c Config) batchWindow() time.Duration {
+	switch {
+	case c.BatchWindow > 0:
+		return c.BatchWindow
+	case c.BatchWindow < 0:
+		return 0 // batching off
+	default:
+		return 2 * time.Millisecond
+	}
+}
+
 func (c Config) retryBudget() float64 {
 	switch {
 	case c.RetryBudget > 0:
@@ -141,6 +161,7 @@ type Server struct {
 	reg      *Registry
 	metrics  *Metrics
 	engine   *engine.Engine
+	batcher  *batch.Collector // nil when batching is disabled
 	shed     *resilience.Shedder
 	breakers *resilience.Breakers
 	watchdog *resilience.Watchdog
@@ -182,6 +203,15 @@ func New(cfg Config) *Server {
 		resilience.RetryConfig{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second},
 	)
 	s.baseCtx, s.cancelInflight = context.WithCancel(context.Background())
+	if w := cfg.batchWindow(); w > 0 {
+		// The collector shares the engine's cache and governor so a
+		// batched query hits the same cache entries and competes for the
+		// same CPU budget as an unbatched one.
+		s.batcher = batch.New(s.baseCtx, s.engine.Cache(), s.engine.Governor(), batch.Config{
+			Window:   w,
+			MaxBatch: cfg.BatchMax,
+		})
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -196,6 +226,9 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Engine exposes the query engine (cache + coalescer + governor).
 func (s *Server) Engine() *engine.Engine { return s.engine }
+
+// Batcher exposes the batch collector (nil when batching is disabled).
+func (s *Server) Batcher() *batch.Collector { return s.batcher }
 
 // Breakers exposes the per-(algorithm, graph) circuit-breaker table.
 func (s *Server) Breakers() *resilience.Breakers { return s.breakers }
