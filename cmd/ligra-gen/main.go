@@ -1,5 +1,6 @@
 // ligra-gen generates synthetic graphs in Ligra's AdjacencyGraph text
-// format or this repository's binary format.
+// format, this repository's binary (LIGRAGO1) format, or the compressed
+// (LIGRAGC1) format — see docs/FORMATS.md.
 //
 // Usage:
 //
@@ -7,6 +8,7 @@
 //	ligra-gen -family grid3d -side 64 -binary -o grid.bin
 //	ligra-gen -family randlocal -n 100000 -degree 10 -window 4096 -o rl.adj
 //	ligra-gen -family er -n 10000 -m 50000 -o er.adj
+//	ligra-gen -family rmat -scale 16 -format compressed -o rmat16.gc
 //
 // Add -weights W to attach deterministic hash weights in [1, W].
 package main
@@ -42,7 +44,7 @@ func run(args []string, stdout io.Writer) error {
 		seed       = fs.Uint64("seed", 42, "generator seed")
 		weights    = fs.Int("weights", 0, "attach hash weights in [1, W] (0 = unweighted)")
 		binary     = fs.Bool("binary", false, "write the binary format instead of text")
-		format     = fs.String("format", "", "output format: adj (default) | bin | el (SNAP edge list)")
+		format     = fs.String("format", "", "output format: adj (default) | bin | el (SNAP edge list) | compressed (LIGRAGC1 byte codes, mmap-able)")
 		kWS        = fs.Int("k", 4, "ws: lattice neighbors per side")
 		pWS        = fs.Float64("p", 0.1, "ws: rewiring probability")
 		out        = fs.String("o", "", "output path (required)")
@@ -75,6 +77,17 @@ func run(args []string, stdout io.Writer) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
+	case *format == "compressed":
+		c, err := ligra.Compress(g)
+		if err != nil {
+			return err
+		}
+		if err := ligra.SaveCompressed(*out, c); err != nil {
+			return err
+		}
+		csr := g.MemoryFootprint()
+		fmt.Fprintf(stdout, "compressed %d bytes CSR to %d bytes (%.2fx)\n",
+			csr, c.SizeBytes(), float64(csr)/float64(c.SizeBytes()))
 	case *format == "bin" || *binary:
 		if err := ligra.SaveGraph(*out, g, true); err != nil {
 			return err

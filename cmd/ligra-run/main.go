@@ -58,7 +58,7 @@ func run(args []string, stdout io.Writer) error {
 	fs.SetOutput(os.Stderr)
 	var (
 		algoName  = fs.String("algo", "bfs", "algorithm: "+strings.Join(algo.RunnerNames(), " | "))
-		graphPath = fs.String("graph", "", "input graph file (AdjacencyGraph text or binary)")
+		graphPath = fs.String("graph", "", "input graph file (AdjacencyGraph text, LIGRAGO1 binary, or LIGRAGC1 compressed; detected by content)")
 		symmetric = fs.Bool("s", false, "treat a text-format input file as symmetric (Ligra's -s)")
 		genFamily = fs.String("gen", "", "generate instead of load: rmat | grid3d | randlocal | twitter-sim")
 		scale     = fs.Int("scale", 16, "generator scale (~2^scale vertices)")
@@ -70,7 +70,8 @@ func run(args []string, stdout io.Writer) error {
 		rounds    = fs.Int("rounds", 1, "timed repetitions (fastest reported)")
 		trace     = fs.Bool("trace", false, "print the per-round edgeMap trace")
 		stats     = fs.Bool("stats", false, "print per-round dense/sparse decisions and the aggregate traversal counters")
-		compressG = fs.Bool("compress", false, "run on the Ligra+ byte-compressed representation")
+		compressG = fs.Bool("compress", false, "compress a CSR input in memory and run on the Ligra+ byte-compressed representation")
+		mmapG     = fs.Bool("mmap", false, "memory-map a compressed (LIGRAGC1) -graph input instead of heap-loading it")
 		procs     = fs.Int("procs", 0, "cap the computation's worker goroutines via a per-call lease (0 = no cap; caps at GOMAXPROCS, never raises)")
 		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the computation (0 = none); on expiry the algorithm stops cooperatively, its partial result is reported, and the exit status is 2")
 	)
@@ -83,23 +84,34 @@ func run(args []string, stdout io.Writer) error {
 		return algo.UnknownAlgoError(*algoName)
 	}
 
-	g, err := loadOrGenerate(*graphPath, *symmetric, *genFamily, *scale, *seed)
+	view, err := loadOrGenerate(*graphPath, *symmetric, *mmapG, *genFamily, *scale, *seed)
 	if err != nil {
 		return err
 	}
-	if *weights > 0 {
-		g = g.AddWeights(ligra.HashWeight(int32(*weights)))
-	}
-	fmt.Fprintln(stdout, ligra.ComputeStats(g))
-
-	var view ligra.View = g
-	if *compressG {
-		c, err := ligra.Compress(g)
-		if err != nil {
-			return err
+	if g, ok := view.(*ligra.Graph); ok {
+		if *weights > 0 {
+			g = g.AddWeights(ligra.HashWeight(int32(*weights)))
+			view = g
 		}
-		fmt.Fprintf(stdout, "compressed representation: %d bytes\n", c.SizeBytes())
-		view = c
+		fmt.Fprintln(stdout, ligra.ComputeStats(g))
+		if *compressG {
+			c, err := ligra.Compress(g)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "compressed representation: %d bytes\n", c.SizeBytes())
+			view = c
+		}
+	} else if c, ok := view.(*ligra.CompressedGraph); ok {
+		// A compressed input cannot be re-weighted in place; weights must
+		// be attached before compressing (ligra-gen -weights ... -format
+		// compressed).
+		if *weights > 0 {
+			return errors.New("-weights requires a CSR input; regenerate the compressed file with weights instead")
+		}
+		fmt.Fprintf(stdout, "compressed graph (%s): n=%d m=%d weighted=%t symmetric=%t heap=%d mapped=%d bytes\n",
+			c.FormatName(), c.NumVertices(), c.NumEdges(), c.Weighted(), c.Symmetric(),
+			c.MemoryFootprint(), c.MappedBytes())
 	}
 
 	params := algo.Params{Mode: *mode, Threshold: *threshold}
@@ -201,10 +213,12 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func loadOrGenerate(path string, symmetric bool, family string, scale int, seed uint64) (*ligra.Graph, error) {
+func loadOrGenerate(path string, symmetric, mmap bool, family string, scale int, seed uint64) (ligra.View, error) {
 	switch {
 	case path != "":
-		return ligra.LoadGraph(path, symmetric)
+		return ligra.LoadView(path, symmetric, mmap)
+	case mmap:
+		return nil, errors.New("-mmap requires a -graph file in the compressed (LIGRAGC1) format")
 	case family == "rmat":
 		return ligra.RMAT(scale, 16, ligra.PBBSRMAT, seed)
 	case family == "twitter-sim":

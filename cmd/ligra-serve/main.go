@@ -10,6 +10,7 @@
 //
 //	ligra-serve -addr :8090 -max-concurrent 8
 //	ligra-serve -preload social=graphs/social.adj,symmetric
+//	ligra-serve -preload web=graphs/web.gc,mmap
 //
 // Endpoints:
 //
@@ -42,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"ligra/internal/compress"
 	"ligra/internal/graph"
 	"ligra/internal/server"
 )
@@ -53,25 +55,35 @@ func main() {
 	}
 }
 
-// preloadSpec is one -preload flag value: "name=path[,symmetric]".
+// preloadSpec is one -preload flag value: "name=path[,symmetric][,mmap]".
 type preloadSpec struct {
-	name, path string
-	symmetric  bool
+	name, path      string
+	symmetric, mmap bool
 }
 
 func parsePreload(v string) (preloadSpec, error) {
 	name, rest, ok := strings.Cut(v, "=")
 	if !ok || name == "" || rest == "" {
-		return preloadSpec{}, fmt.Errorf("bad -preload %q (want name=path[,symmetric])", v)
+		return preloadSpec{}, fmt.Errorf("bad -preload %q (want name=path[,symmetric][,mmap])", v)
 	}
 	spec := preloadSpec{name: name}
-	path, attr, hasAttr := strings.Cut(rest, ",")
-	spec.path = path
-	if hasAttr {
-		if attr != "symmetric" {
-			return preloadSpec{}, fmt.Errorf("bad -preload attribute %q (only \"symmetric\")", attr)
+	parts := strings.Split(rest, ",")
+	spec.path = parts[0]
+	if spec.path == "" {
+		return preloadSpec{}, fmt.Errorf("bad -preload %q (want name=path[,symmetric][,mmap])", v)
+	}
+	for _, attr := range parts[1:] {
+		switch attr {
+		case "symmetric":
+			spec.symmetric = true
+		case "mmap":
+			// Memory-map a compressed (LIGRAGC1) file: warm restarts,
+			// page-cache sharing across processes. Rejected at load time
+			// for other formats.
+			spec.mmap = true
+		default:
+			return preloadSpec{}, fmt.Errorf("bad -preload attribute %q (have \"symmetric\", \"mmap\")", attr)
 		}
-		spec.symmetric = true
 	}
 	return spec, nil
 }
@@ -113,7 +125,7 @@ func run(args []string) error {
 		trustTenant    = fs.Bool("trust-tenant-header", false, "honor the X-Tenant header for fair-share shedding; enable only behind a gateway that sets it (otherwise tenants are client IPs)")
 		logJSON        = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
-	fs.Var(&preloads, "preload", "load a graph at startup: name=path[,symmetric] (repeatable)")
+	fs.Var(&preloads, "preload", "load a graph at startup: name=path[,symmetric][,mmap] (repeatable; mmap maps a compressed file instead of heap-loading it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -142,13 +154,20 @@ func run(args []string) error {
 		Logger:            logger,
 	})
 	for _, p := range preloads {
-		_, err := srv.Registry().Load(context.Background(), p.name,
-			fmt.Sprintf("file:%s symmetric=%t", p.path, p.symmetric),
-			func() (*graph.Graph, error) { return graph.LoadFile(p.path, p.symmetric) })
+		// The source string must match what POST /v1/graphs would build
+		// for the same request, so a later identical load joins this
+		// residency instead of conflicting.
+		source := fmt.Sprintf("file:%s symmetric=%t", p.path, p.symmetric)
+		if p.mmap {
+			source += " mmap=true"
+		}
+		info, err := srv.Registry().Load(context.Background(), p.name, source,
+			func() (graph.View, error) { return compress.LoadView(p.path, p.symmetric, p.mmap) })
 		if err != nil {
 			return fmt.Errorf("preload: %w", err)
 		}
-		logger.Info("preloaded", "graph", p.name, "path", p.path)
+		logger.Info("preloaded", "graph", p.name, "path", p.path,
+			"format", info.Format, "memory_bytes", info.MemoryBytes, "mapped_bytes", info.MappedBytes)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -21,8 +21,10 @@ func TestParsePreload(t *testing.T) {
 		want preloadSpec
 		ok   bool
 	}{
-		{"social=graphs/social.adj", preloadSpec{"social", "graphs/social.adj", false}, true},
-		{"web=web.bin,symmetric", preloadSpec{"web", "web.bin", true}, true},
+		{"social=graphs/social.adj", preloadSpec{"social", "graphs/social.adj", false, false}, true},
+		{"web=web.bin,symmetric", preloadSpec{"web", "web.bin", true, false}, true},
+		{"web=web.gc,mmap", preloadSpec{"web", "web.gc", false, true}, true},
+		{"web=web.gc,symmetric,mmap", preloadSpec{"web", "web.gc", true, true}, true},
 		{"noequals", preloadSpec{}, false},
 		{"=path", preloadSpec{}, false},
 		{"name=", preloadSpec{}, false},

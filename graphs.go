@@ -139,3 +139,30 @@ type CompressedGraph = compress.CompressedGraph
 // Compress encodes g with Ligra+ byte codes (difference-encoded varint
 // adjacency lists).
 func Compress(g *Graph) (*CompressedGraph, error) { return compress.Compress(g) }
+
+// LoadView loads a graph file in any supported format (docs/FORMATS.md),
+// sniffed by content: LIGRAGC1 compressed files load as *CompressedGraph
+// (memory-mapped when mmap is set), LIGRAGO1 binary and text files load
+// as the CSR *Graph. symmetric applies to text inputs only.
+func LoadView(path string, symmetric, mmap bool) (View, error) {
+	return compress.LoadView(path, symmetric, mmap)
+}
+
+// SaveCompressed writes c to path in the LIGRAGC1 compressed format.
+func SaveCompressed(path string, c *CompressedGraph) error {
+	return compress.WriteCompressedFile(path, c)
+}
+
+// LoadCompressed reads a LIGRAGC1 compressed file into the heap,
+// validating it fully (corrupt input returns an error, never panics).
+func LoadCompressed(path string) (*CompressedGraph, error) {
+	return compress.ReadCompressedFile(path)
+}
+
+// OpenMapped memory-maps a LIGRAGC1 compressed file read-only: the graph's
+// sections alias the page cache, so restarts are warm, co-hosted processes
+// share one physical copy, and the heap footprint is ~0. On non-unix
+// platforms (and big-endian hosts) it falls back to LoadCompressed.
+func OpenMapped(path string) (*CompressedGraph, error) {
+	return compress.OpenMapped(path)
+}

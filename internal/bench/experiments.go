@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
 	"text/tabwriter"
 	"time"
 
@@ -325,8 +326,20 @@ func DenseForward(cfg Config) error {
 	return w.Flush()
 }
 
-// CompressAblation compares CSR against Ligra+ byte-compressed graphs in
-// space and running time (the Ligra+ extension experiment).
+// CompressAblation measures the compressed backend end to end (the Ligra+
+// extension experiment, plus this repo's LIGRAGC1 format and the
+// GPOP-style partition-blocked dense sweep):
+//
+//   - resident footprint: CSR MemoryFootprint vs compressed SizeBytes vs
+//     the mmap-backed heap footprint (~0; the bytes live in the page cache)
+//   - format round-trip cost: WriteCompressed / ReadCompressed (full
+//     validation decode) / OpenMapped on a temp file
+//   - traversal time per backend: CSR, compressed with the blocked dense
+//     sweep (the default), compressed with NoBlockDecode (per-edge decode
+//     callback, for ablation), and the mmap-backed graph
+//
+// Per-measurement ids are recorded ("compress/<app>-<backend>") so
+// ligra-bench -against can diff decoder regressions individually.
 func CompressAblation(cfg Config) error {
 	suite := DefaultSuite(cfg.Scale)
 	in, err := FindInput(suite, "rMat")
@@ -341,30 +354,76 @@ func CompressAblation(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	csrBytes := int64(g.NumVertices()+1)*8 + g.NumEdges()*4
-	fmt.Fprintf(cfg.Out, "Ligra+ compression on %s: CSR %d bytes -> compressed %d bytes (%.2fx smaller edge storage)\n",
+	csrBytes := g.MemoryFootprint()
+	fmt.Fprintf(cfg.Out, "Ligra+ compression on %s: CSR %d bytes resident -> compressed %d bytes (%.2fx smaller)\n",
 		in.Name, csrBytes, c.SizeBytes(), float64(csrBytes)/float64(c.SizeBytes()))
+
+	// Format round trip through a temp file: write, validated heap read,
+	// and mmap open (validation decode faults every page in once).
+	f, err := os.CreateTemp("", "ligra-bench-*.gc")
+	if err != nil {
+		return err
+	}
+	path := f.Name()
+	f.Close()
+	defer os.Remove(path)
+	start := time.Now()
+	if err := compress.WriteCompressedFile(path, c); err != nil {
+		return err
+	}
+	writeDur := time.Since(start)
+	start = time.Now()
+	if _, err := compress.ReadCompressedFile(path); err != nil {
+		return err
+	}
+	readDur := time.Since(start)
+	start = time.Now()
+	mapped, err := compress.OpenMapped(path)
+	if err != nil {
+		return err
+	}
+	mmapDur := time.Since(start)
+	fmt.Fprintf(cfg.Out, "LIGRAGC1 round trip: write %.3fs, read+validate %.3fs, mmap+validate %.3fs; mapped graph: heap %d bytes, mapped %d bytes\n",
+		writeDur.Seconds(), readDur.Seconds(), mmapDur.Seconds(),
+		mapped.MemoryFootprint(), mapped.MappedBytes())
+	cfg.record("compress/write", writeDur.Seconds())
+	cfg.record("compress/read", readDur.Seconds())
+
 	apps := []struct {
 		name string
-		run  func(v graph.View)
+		run  func(v graph.View, o core.Options)
 	}{
-		{"BFS", func(v graph.View) { algo.BFS(v, pickSource(v), core.Options{}) }},
-		{"PageRank(1 iter)", func(v graph.View) {
-			algo.PageRank(v, algo.PageRankOptions{Damping: 0.85, MaxIterations: 1})
+		{"BFS", func(v graph.View, o core.Options) { algo.BFS(v, pickSource(v), o) }},
+		{"PageRank1", func(v graph.View, o core.Options) {
+			algo.PageRank(v, algo.PageRankOptions{Damping: 0.85, MaxIterations: 1, EdgeMap: o})
 		}},
-		{"Components", func(v graph.View) { algo.ConnectedComponents(v, core.Options{}) }},
+		{"Components", func(v graph.View, o core.Options) { algo.ConnectedComponents(v, o) }},
+	}
+	backends := []struct {
+		id   string
+		v    graph.View
+		opts core.Options
+	}{
+		{"csr", g, core.Options{}},
+		{"blocked", c, core.Options{}},
+		{"noblock", c, core.Options{NoBlockDecode: true}},
+		{"mmap", mapped, core.Options{}},
 	}
 	w := cfg.tab()
-	fmt.Fprintln(w, "Application\tCSR\tcompressed\tslowdown")
+	fmt.Fprintln(w, "Application\tCSR\tcompressed(blocked)\tcompressed(noblock)\tcompressed(mmap)\tslowdown(blocked)")
 	for _, a := range apps {
 		if cfg.budgetExhausted(w) {
 			break
 		}
-		t1 := Measure(cfg.rounds(), func() { a.run(g) })
-		t2 := Measure(cfg.rounds(), func() { a.run(c) })
-		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.2fx\n",
-			a.name, t1.Median.Seconds(), t2.Median.Seconds(),
-			t2.Median.Seconds()/t1.Median.Seconds())
+		row := a.name
+		var times []float64
+		for _, b := range backends {
+			tm := Measure(cfg.rounds(), func() { a.run(b.v, b.opts) })
+			times = append(times, tm.Median.Seconds())
+			row += fmt.Sprintf("\t%.4f", tm.Median.Seconds())
+			cfg.record("compress/"+a.name+"-"+b.id, tm.Median.Seconds())
+		}
+		fmt.Fprintf(w, "%s\t%.2fx\n", row, times[1]/times[0])
 	}
 	return w.Flush()
 }

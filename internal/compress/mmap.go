@@ -1,0 +1,125 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"unsafe"
+)
+
+// Memory-mapped loading: OpenMapped (mmap_unix.go, with a read-into-heap
+// fallback in mmap_fallback.go for platforms without syscall.Mmap) maps a
+// LIGRAGC1 file read-only and reinterprets its sections in place. The
+// format guarantees every section starts on an 8-byte boundary and mmap
+// returns a page-aligned base, so the offset/degree arrays are valid
+// []int64/[]int32 views of the mapping — no copy, no heap. The bytes live
+// in the page cache: a restarted server re-maps the same file and is warm
+// immediately, N processes hosting one graph share one physical copy, and
+// the kernel evicts cold pages under pressure instead of the process
+// swapping.
+//
+// Lifetime: the mapping is released by a finalizer when the graph becomes
+// unreachable, so evicting a mapped graph from a registry while queries
+// still traverse it is safe — the mapping outlives the last reference.
+// Close unmaps eagerly and must only be called when no traversal can touch
+// the graph again.
+
+// fromMapping builds a CompressedGraph whose sections alias data (a whole
+// LIGRAGC1 file). It validates exactly like ReadCompressed — including the
+// O(m) parallel decode pass, which also faults in every page once so later
+// traversals never stall on first-touch I/O.
+func fromMapping(data []byte) (*CompressedGraph, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if want := h.fileSize(); int64(len(data)) != want {
+		return nil, fmt.Errorf("compress: file is %d bytes, format requires exactly %d", len(data), want)
+	}
+	c := &CompressedGraph{n: h.n, m: h.m, weighted: h.weighted, symmetric: h.symmetric}
+	off := int64(headerSize)
+	takeSide := func(dataLen int64) ([]int64, []int32, []byte) {
+		offsets := mapSlice[int64](data, off, h.n+1)
+		off += int64(h.n+1) * 8
+		degs := mapSlice[int32](data, off, h.n)
+		off += int64(h.n)*4 + pad8(int64(h.n)*4)
+		bytes := data[off : off+dataLen]
+		off += dataLen + pad8(dataLen)
+		return offsets, degs, bytes
+	}
+	c.outOffsets, c.outDeg, c.outData = takeSide(h.outBytes)
+	if !h.symmetric {
+		c.inOffsets, c.inDeg, c.inData = takeSide(h.inBytes)
+	}
+	if err := validateCompressed(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// mapSlice reinterprets count T values at data[off:]. off must be 8-byte
+// aligned relative to data's (page-aligned) base, which the format layout
+// guarantees; fileSize has already verified the bounds.
+func mapSlice[T int64 | int32](data []byte, off int64, count int) []T {
+	if count == 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&data[off])), count)
+}
+
+// nativeLittleEndian reports whether this host matches the on-disk byte
+// order; on big-endian hosts OpenMapped falls back to the copying reader,
+// which byte-swaps.
+func nativeLittleEndian() bool {
+	var b [2]byte
+	binary.NativeEndian.PutUint16(b[:], 1)
+	return b[0] == 1
+}
+
+// finishMapping wires the mapping into c and arranges unmapping when the
+// graph becomes unreachable.
+func finishMapping(c *CompressedGraph, data []byte) {
+	c.mapped = data
+	runtime.SetFinalizer(c, func(g *CompressedGraph) { _ = munmap(g.mapped) })
+}
+
+// Close releases the mapping, if any. After Close the graph must not be
+// traversed: its sections alias the unmapped region. Heap-resident graphs
+// ignore Close. Long-lived hosts (the ligra-serve registry) never call
+// Close and rely on the finalizer, so eviction with in-flight queries is
+// safe.
+func (c *CompressedGraph) Close() error {
+	if c.mapped == nil {
+		return nil
+	}
+	runtime.SetFinalizer(c, nil)
+	data := c.mapped
+	c.mapped = nil
+	c.outOffsets, c.outDeg, c.outData = nil, nil, nil
+	c.inOffsets, c.inDeg, c.inData = nil, nil, nil
+	return munmap(data)
+}
+
+// MappedBytes reports the size of the memory-mapped region backing this
+// graph, or 0 when its sections live on the Go heap.
+func (c *CompressedGraph) MappedBytes() int64 { return int64(len(c.mapped)) }
+
+// MemoryFootprint reports the graph's heap-resident bytes, mirroring
+// (*graph.Graph).MemoryFootprint so the serving registry can report either
+// backend uniformly. A mapped graph's sections live in the page cache, not
+// the heap, so its footprint is ~0; see MappedBytes for the mapped size.
+func (c *CompressedGraph) MemoryFootprint() int64 {
+	if c.mapped != nil {
+		return 0
+	}
+	return c.SizeBytes()
+}
+
+// FormatName identifies the backend ("compressed" or "compressed+mmap")
+// for /metrics, /healthz, and CLI summaries.
+func (c *CompressedGraph) FormatName() string {
+	if c.mapped != nil {
+		return "compressed+mmap"
+	}
+	return "compressed"
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package compress
+
+// OpenMapped on platforms without syscall.Mmap reads the file into the
+// heap: same validated graph, no page-cache sharing (MappedBytes reports
+// 0, FormatName "compressed").
+func OpenMapped(path string) (*CompressedGraph, error) {
+	return ReadCompressedFile(path)
+}
+
+// munmap is never reached: only OpenMapped sets c.mapped, and the fallback
+// never maps.
+func munmap([]byte) error { return nil }

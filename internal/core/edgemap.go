@@ -95,6 +95,16 @@ type Options struct {
 	// the machine (see parallel.WithProcs); 0 inherits the cap already on
 	// the context, if any.
 	Procs int
+	// NoBlockDecode disables the partition-blocked dense sweep for
+	// backends that implement graph.InBlockDecoder (the compressed
+	// backend), falling back to the per-edge decode callback. The blocked
+	// sweep decodes a cache-sized block of destinations' in-lists once
+	// per round and runs the tight CSR-style loop over the decoded
+	// arrays; it is on by default for dense rounds without DenseEarlyExit
+	// (early-exit rounds stop a row after the first hit, where the lazy
+	// per-vertex decoder wins) and this flag exists for ablation
+	// (ligra-bench -experiment compress measures both).
+	NoBlockDecode bool
 	// SeqCutoff tunes the sequential small-round bypass: a round whose
 	// total estimated work |U| + outDegrees(U) is at or below the cutoff
 	// (and that the direction heuristic sends sparse) runs entirely on
@@ -610,6 +620,14 @@ func removeDuplicates(n int, ids []uint32) []uint32 {
 	return out
 }
 
+// inBlockPool recycles the decoded-slab buffers of the partition-blocked
+// dense sweep, so iterative algorithms pay the block allocations once, not
+// once per (round, chunk).
+var inBlockPool = sync.Pool{New: func() any { return new(graph.InBlock) }}
+
+func getInBlock() *graph.InBlock  { return inBlockPool.Get().(*graph.InBlock) }
+func putInBlock(b *graph.InBlock) { inBlockPool.Put(b) }
+
 // denseBlockAlign is the alignment of the dense traversal's destination
 // blocks: a multiple of the bitset word size, so every block owns whole
 // words of the output bit vector and can set output bits without atomics.
@@ -702,6 +720,70 @@ func edgeMapDense(ctx context.Context, g graph.View, u *VertexSubset, f EdgeFunc
 					out.Set(di) // this block owns the word
 				}
 			}
+		}
+	} else if bd, ok := g.(graph.InBlockDecoder); ok && !opts.NoBlockDecode && !earlyExit {
+		// Partition-blocked sweep (GPOP-style) for decodable backends:
+		// decode the whole destination block's in-lists into a pooled CSR
+		// slab, then run the same tight loops as the raw-CSR path over the
+		// decoded slices. Cond is sampled once per destination at decode
+		// time (rows it rules out are never decoded); mid-row Cond flips
+		// still stop the scan exactly like the other dense bodies.
+		// Early-exit rounds (BFS parent search) are excluded: they stop a
+		// row after the first hit, so the lazy per-vertex decoder below
+		// beats paying for a full eager decode of every row.
+		uw := ud.Words()
+		var skip func(uint32) bool
+		if cond != nil {
+			skip = func(d uint32) bool { return !cond(d) }
+		}
+		body = func(lo, hi int) {
+			blk := getInBlock()
+			bd.DecodeInBlock(uint32(lo), uint32(hi), skip, blk)
+			for di := lo; di < hi; di++ {
+				d := uint32(di)
+				row, wts := blk.Row(di - lo)
+				hit := false
+				if full {
+					for j, s := range row {
+						w := int32(1)
+						if wts != nil {
+							w = wts[j]
+						}
+						if update(s, d, w) {
+							hit = true
+							if earlyExit {
+								break
+							}
+						}
+						if cond != nil && !cond(d) {
+							break // early exit: d needs no more updates
+						}
+					}
+				} else {
+					for j, s := range row {
+						if uw[s>>6]&(1<<(s&63)) == 0 {
+							continue
+						}
+						w := int32(1)
+						if wts != nil {
+							w = wts[j]
+						}
+						if update(s, d, w) {
+							hit = true
+							if earlyExit {
+								break
+							}
+						}
+						if cond != nil && !cond(d) {
+							break // early exit: d needs no more updates
+						}
+					}
+				}
+				if hit && out != nil {
+					out.Set(di) // this block owns the word
+				}
+			}
+			putInBlock(blk)
 		}
 	} else {
 		body = func(lo, hi int) {

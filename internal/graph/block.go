@@ -1,0 +1,40 @@
+package graph
+
+// InBlock is a decoded slab of consecutive vertices' in-adjacency lists in
+// CSR layout: vertex lo+i's in-edges are Targets[Offsets[i]:Offsets[i+1]]
+// (and the matching Weights entries when non-nil). Blocks are reused
+// across rounds via pooling — decoders must overwrite, never append to,
+// a recycled block's contents.
+type InBlock struct {
+	Offsets []int64
+	Targets []uint32
+	Weights []int32
+}
+
+// Row returns the targets and weights of the i-th vertex in the block
+// (weights nil for unweighted graphs).
+func (b *InBlock) Row(i int) ([]uint32, []int32) {
+	lo, hi := b.Offsets[i], b.Offsets[i+1]
+	if b.Weights == nil {
+		return b.Targets[lo:hi], nil
+	}
+	return b.Targets[lo:hi], b.Weights[lo:hi]
+}
+
+// InBlockDecoder is the optional interface behind the GPOP-style
+// partition-blocked dense sweep (after "GPOP: cache- and work-efficient
+// processing over partitions", PAPERS.md): a backend whose in-adjacency is
+// not already raw CSR slices — the compressed backend — implements it to
+// decode a cache-sized run of vertices' in-lists into one reusable block,
+// so the dense pull traversal runs its tight CSR-style inner loop over
+// decoded arrays instead of paying a per-edge decode callback.
+//
+// DecodeInBlock fills blk with the in-lists of vertices [lo, hi). Rows
+// with skip(v) true (nil means keep all) are left empty — the caller has
+// already decided not to traverse them, so decoding their edges would be
+// pure waste; the caller must treat an empty row as "no edges to scan" and
+// not re-consult its skip predicate afterwards. Implementations must be
+// safe for concurrent calls with disjoint blocks.
+type InBlockDecoder interface {
+	DecodeInBlock(lo, hi uint32, skip func(v uint32) bool, blk *InBlock)
+}

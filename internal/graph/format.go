@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"io"
+	"os"
+)
+
+// Format identifies an on-disk graph encoding, detected from content (the
+// 8-byte magic) rather than the file name. docs/FORMATS.md is the
+// normative spec for all of them, including detection precedence.
+type Format int
+
+const (
+	// FormatText is the (Weighted)AdjacencyGraph text format — anything
+	// without a known binary magic is presumed text and handed to the
+	// text parser, which rejects it with a descriptive error if the
+	// header token is wrong.
+	FormatText Format = iota
+	// FormatBinary is the LIGRAGO1 uncompressed binary CSR format.
+	FormatBinary
+	// FormatCompressed is the LIGRAGC1 byte-compressed format, handled by
+	// the compress package (this package only detects it).
+	FormatCompressed
+	// FormatUnknownVersion is a "LIGRAG"-prefixed magic this build does
+	// not understand: a format from a newer (or corrupted) writer.
+	// Loaders must reject it rather than fall through to the text parser.
+	FormatUnknownVersion
+)
+
+// String names the format for error messages.
+func (f Format) String() string {
+	switch f {
+	case FormatText:
+		return "text"
+	case FormatBinary:
+		return "binary (LIGRAGO1)"
+	case FormatCompressed:
+		return "compressed (LIGRAGC1)"
+	default:
+		return "unknown LIGRAG* version"
+	}
+}
+
+// compressedMagic mirrors compress.Magic; this package is imported by
+// compress, so the byte string is duplicated here rather than imported.
+var compressedMagic = [8]byte{'L', 'I', 'G', 'R', 'A', 'G', 'C', '1'}
+
+// DetectFormat sniffs the format from the first bytes of a file (8 suffice;
+// fewer is fine and detects as text, since both binary magics are 8 bytes).
+func DetectFormat(prefix []byte) Format {
+	if len(prefix) < 8 {
+		return FormatText
+	}
+	var magic [8]byte
+	copy(magic[:], prefix)
+	switch magic {
+	case binaryMagic:
+		return FormatBinary
+	case compressedMagic:
+		return FormatCompressed
+	}
+	if string(magic[:6]) == "LIGRAG" {
+		return FormatUnknownVersion
+	}
+	return FormatText
+}
+
+// DetectFormatFile sniffs the format of the file at path.
+func DetectFormatFile(path string) (Format, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FormatText, err
+	}
+	defer f.Close()
+	var prefix [8]byte
+	k, err := io.ReadAtLeast(f, prefix[:], 1)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return FormatText, err
+	}
+	return DetectFormat(prefix[:k]), nil
+}

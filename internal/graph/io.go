@@ -291,8 +291,13 @@ func noEOF(err error) error {
 	return err
 }
 
-// LoadFile reads a graph from path, auto-detecting the binary format by its
-// magic and otherwise parsing the text format.
+// LoadFile reads a CSR graph from path, detecting the format by content
+// (never by file name): the LIGRAGO1 magic selects the binary reader,
+// anything unmagic'd goes to the text parser. Files in formats this
+// function cannot decode into a CSR *Graph — the LIGRAGC1 compressed
+// format, or a LIGRAG*-magic'd version this build does not know — get a
+// descriptive error naming the format instead of a mid-file parse failure;
+// use compress.LoadView to load any format polymorphically.
 func LoadFile(path string, symmetric bool) (*Graph, error) {
 	if err := faultinject.OnLoad(); err != nil {
 		return nil, fmt.Errorf("reading %s: %w", path, err)
@@ -302,17 +307,21 @@ func LoadFile(path string, symmetric bool) (*Graph, error) {
 		return nil, err
 	}
 	defer f.Close()
-	var magic [8]byte
-	if _, err := io.ReadFull(f, magic[:]); err == nil && magic == binaryMagic {
-		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			return nil, err
-		}
-		return ReadBinary(f)
-	}
+	var prefix [8]byte
+	k, _ := io.ReadAtLeast(f, prefix[:], 1)
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
-	return ReadAdjacency(f, symmetric)
+	switch format := DetectFormat(prefix[:k]); format {
+	case FormatBinary:
+		return ReadBinary(f)
+	case FormatCompressed:
+		return nil, fmt.Errorf("graph: %s is a %s file; load it with the compress package (compress.LoadView or ligra.LoadView)", path, format)
+	case FormatUnknownVersion:
+		return nil, fmt.Errorf("graph: %s has unrecognized magic %q: not a format this build understands", path, prefix[:k])
+	default:
+		return ReadAdjacency(f, symmetric)
+	}
 }
 
 // SaveFile writes a graph to path; binary selects the binary format.

@@ -155,7 +155,7 @@ func TestCacheInvalidationOnEvictAndReload(t *testing.T) {
 // evict/reload cycles and independent between names.
 func TestRegistryGenerationSurvivesEviction(t *testing.T) {
 	r := NewRegistry()
-	build := func() (*graph.Graph, error) { return gen.RMAT(8, 16, gen.PBBSRMAT, 1) }
+	build := func() (graph.View, error) { return gen.RMAT(8, 16, gen.PBBSRMAT, 1) }
 	for want := uint64(1); want <= 3; want++ {
 		info, err := r.Load(context.Background(), "g", fmt.Sprintf("src-%d", want), build)
 		if err != nil {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ligra/internal/algo"
+	"ligra/internal/compress"
 	"ligra/internal/gen"
 	"ligra/internal/graph"
 	"ligra/internal/parallel"
@@ -57,6 +58,11 @@ func retryAfter(w http.ResponseWriter, d time.Duration) {
 type healthGraph struct {
 	Name  string `json:"name"`
 	State string `json:"state"` // "ready" | "loading"
+	// Format names the resident backend ("csr", "compressed",
+	// "compressed+mmap"); empty while loading.
+	Format string `json:"format,omitempty"`
+	// MappedBytes reports mmap residency for compressed+mmap graphs.
+	MappedBytes int64 `json:"mapped_bytes,omitempty"`
 }
 
 // healthResponse is the readiness document served at /healthz.
@@ -94,7 +100,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		if info.Loading {
 			state = "loading"
 		}
-		resp.Graphs = append(resp.Graphs, healthGraph{Name: info.Name, State: state})
+		resp.Graphs = append(resp.Graphs, healthGraph{
+			Name: info.Name, State: state,
+			Format: info.Format, MappedBytes: info.MappedBytes,
+		})
 	}
 	resp.Breakers = s.breakers.States()
 	if trips := s.watchdog.Trips(); trips > 0 {
@@ -155,13 +164,18 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"evicted": name})
 }
 
-// loadRequest specifies where a graph comes from: a file path
-// (AdjacencyGraph text or this package's binary format) or a synthetic
-// generator family.
+// loadRequest specifies where a graph comes from: a file path (any format
+// in docs/FORMATS.md — AdjacencyGraph text, LIGRAGO1 binary, or LIGRAGC1
+// compressed, detected by content) or a synthetic generator family.
 type loadRequest struct {
 	// Path names a graph file; Symmetric declares a text file undirected.
 	Path      string `json:"path,omitempty"`
 	Symmetric bool   `json:"symmetric,omitempty"`
+	// Mmap memory-maps a compressed (LIGRAGC1) file instead of reading it
+	// into the heap: the bytes stay in the page cache, so restarts are
+	// warm and co-hosted processes share one copy. Rejected for other
+	// formats.
+	Mmap bool `json:"mmap,omitempty"`
 	// Gen generates instead: rmat | grid3d | randlocal | twitter-sim.
 	Gen   string `json:"gen,omitempty"`
 	Scale int    `json:"scale,omitempty"`
@@ -173,7 +187,7 @@ type loadRequest struct {
 
 // plan canonicalizes the request into a source description (the
 // single-flight key alongside the name) and a build function.
-func (lr loadRequest) plan() (string, func() (*graph.Graph, error), error) {
+func (lr loadRequest) plan() (string, func() (graph.View, error), error) {
 	if lr.Path != "" && lr.Gen != "" {
 		return "", nil, errors.New(`"path" and "gen" are mutually exclusive`)
 	}
@@ -182,20 +196,25 @@ func (lr loadRequest) plan() (string, func() (*graph.Graph, error), error) {
 		scale = 12
 	}
 	var source string
-	var build func() (*graph.Graph, error)
+	var build func() (graph.View, error)
 	switch {
 	case lr.Path != "":
 		source = fmt.Sprintf("file:%s symmetric=%t", lr.Path, lr.Symmetric)
-		build = func() (*graph.Graph, error) { return graph.LoadFile(lr.Path, lr.Symmetric) }
+		if lr.Mmap {
+			source += " mmap=true"
+		}
+		build = func() (graph.View, error) {
+			return compress.LoadView(lr.Path, lr.Symmetric, lr.Mmap)
+		}
 	case lr.Gen == "rmat":
 		source = fmt.Sprintf("gen:rmat scale=%d seed=%d", scale, lr.Seed)
-		build = func() (*graph.Graph, error) { return gen.RMAT(scale, 16, gen.PBBSRMAT, lr.Seed) }
+		build = func() (graph.View, error) { return gen.RMAT(scale, 16, gen.PBBSRMAT, lr.Seed) }
 	case lr.Gen == "twitter-sim":
 		source = fmt.Sprintf("gen:twitter-sim scale=%d seed=%d", scale, lr.Seed)
-		build = func() (*graph.Graph, error) { return gen.RMAT(scale, 15, gen.Graph500RMAT, lr.Seed) }
+		build = func() (graph.View, error) { return gen.RMAT(scale, 15, gen.Graph500RMAT, lr.Seed) }
 	case lr.Gen == "grid3d":
 		source = fmt.Sprintf("gen:grid3d scale=%d", scale)
-		build = func() (*graph.Graph, error) {
+		build = func() (graph.View, error) {
 			side := 1
 			for side*side*side < 1<<scale {
 				side++
@@ -204,7 +223,7 @@ func (lr loadRequest) plan() (string, func() (*graph.Graph, error), error) {
 		}
 	case lr.Gen == "randlocal":
 		source = fmt.Sprintf("gen:randlocal scale=%d seed=%d", scale, lr.Seed)
-		build = func() (*graph.Graph, error) {
+		build = func() (graph.View, error) {
 			n := 1 << scale
 			return gen.RandomLocal(n, 10, n/16, lr.Seed)
 		}
@@ -216,12 +235,16 @@ func (lr loadRequest) plan() (string, func() (*graph.Graph, error), error) {
 	if lr.Weights > 0 {
 		source += fmt.Sprintf(" weights=%d", lr.Weights)
 		inner := build
-		build = func() (*graph.Graph, error) {
+		build = func() (graph.View, error) {
 			g, err := inner()
 			if err != nil {
 				return nil, err
 			}
-			return g.AddWeights(graph.HashWeight(lr.Weights)), nil
+			csr, ok := g.(*graph.Graph)
+			if !ok {
+				return nil, errors.New("weights require a CSR graph; re-weight the source before compressing instead")
+			}
+			return csr.AddWeights(graph.HashWeight(lr.Weights)), nil
 		}
 	}
 	return source, build, nil

@@ -83,6 +83,10 @@ type Snapshot struct {
 	Algos         map[string]AlgoSnapshot `json:"algos"`
 	Graphs        []GraphInfo             `json:"graphs"`
 	GraphBytes    int64                   `json:"graph_bytes_total"`
+	// GraphMappedBytes totals the memory-mapped (page-cache resident)
+	// bytes of mmap-backed graphs, reported separately from the heap
+	// bytes in graph_bytes_total.
+	GraphMappedBytes int64 `json:"graph_mapped_bytes_total,omitempty"`
 	// Query is the query engine's counter set: result-cache
 	// hits/misses/evictions and footprint, coalesced query counts, and
 	// parallelism-governor slot occupancy.
@@ -149,6 +153,7 @@ func (m *Metrics) Snapshot(reg *Registry, eng *engine.Engine, res ResilienceSnap
 		s.Graphs = reg.List()
 		for _, info := range s.Graphs {
 			s.GraphBytes += info.MemoryBytes
+			s.GraphMappedBytes += info.MappedBytes
 		}
 	}
 	if eng != nil {

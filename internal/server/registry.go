@@ -36,16 +36,24 @@ var (
 
 // GraphInfo is the JSON-friendly description of one registered graph.
 type GraphInfo struct {
-	Name        string    `json:"name"`
-	Source      string    `json:"source"`
-	Loading     bool      `json:"loading,omitempty"`
-	LoadedAt    time.Time `json:"loaded_at"`
-	LoadMillis  float64   `json:"load_ms,omitempty"`
-	Vertices    int       `json:"vertices"`
-	Edges       int64     `json:"edges"`
-	Symmetric   bool      `json:"symmetric"`
-	Weighted    bool      `json:"weighted"`
-	MemoryBytes int64     `json:"memory_bytes"`
+	Name       string    `json:"name"`
+	Source     string    `json:"source"`
+	Loading    bool      `json:"loading,omitempty"`
+	LoadedAt   time.Time `json:"loaded_at"`
+	LoadMillis float64   `json:"load_ms,omitempty"`
+	Vertices   int       `json:"vertices"`
+	Edges      int64     `json:"edges"`
+	Symmetric  bool      `json:"symmetric"`
+	Weighted   bool      `json:"weighted"`
+	// Format names the resident backend: "csr" for the uncompressed CSR
+	// representation, "compressed" for heap-resident byte codes,
+	// "compressed+mmap" when the byte codes are memory-mapped.
+	Format      string `json:"format"`
+	MemoryBytes int64  `json:"memory_bytes"`
+	// MappedBytes is the size of the backing memory-mapped region (0 for
+	// heap-resident graphs); those bytes live in the page cache, not the
+	// process heap, so MemoryBytes excludes them.
+	MappedBytes int64 `json:"mapped_bytes,omitempty"`
 	// DefaultSource is the highest-out-degree vertex, used when a query
 	// does not name a source.
 	DefaultSource uint32 `json:"default_source"`
@@ -61,7 +69,7 @@ type regEntry struct {
 	// requester) finishes; g/err/info are immutable afterwards.
 	ready  chan struct{}
 	source string
-	g      *graph.Graph
+	g      graph.View
 	err    error
 	info   GraphInfo
 }
@@ -103,11 +111,11 @@ func (r *Registry) RetryBudget() *resilience.Budget { return r.retryBudget }
 // registry's budget. ctx bounds the backoff sleeps (the first
 // requester's context): if the requester gives up mid-backoff, the
 // load fails and the entry is forgotten, so the name stays retryable.
-func (r *Registry) runBuild(ctx context.Context, build func() (*graph.Graph, error)) (*graph.Graph, error) {
+func (r *Registry) runBuild(ctx context.Context, build func() (graph.View, error)) (graph.View, error) {
 	if r.retryBudget == nil {
 		return build()
 	}
-	var g *graph.Graph
+	var g graph.View
 	err := resilience.Do(ctx, r.retryBudget, r.retryCfg, func() error {
 		var err error
 		g, err = build()
@@ -123,7 +131,7 @@ func (r *Registry) runBuild(ctx context.Context, build func() (*graph.Graph, err
 // differ. The first requester runs build on its own goroutine; everyone
 // blocks until the load settles or ctx is done. A failed build is
 // forgotten so it can be retried.
-func (r *Registry) Load(ctx context.Context, name, source string, build func() (*graph.Graph, error)) (GraphInfo, error) {
+func (r *Registry) Load(ctx context.Context, name, source string, build func() (graph.View, error)) (GraphInfo, error) {
 	r.mu.Lock()
 	if e, ok := r.entries[name]; ok {
 		r.mu.Unlock()
@@ -180,7 +188,7 @@ func (r *Registry) wait(ctx context.Context, e *regEntry) (GraphInfo, error) {
 
 // Get returns the named resident graph, blocking on an in-flight load
 // until it settles or ctx is done.
-func (r *Registry) Get(ctx context.Context, name string) (*graph.Graph, GraphInfo, error) {
+func (r *Registry) Get(ctx context.Context, name string) (graph.View, GraphInfo, error) {
 	r.mu.Lock()
 	e, ok := r.entries[name]
 	r.mu.Unlock()
@@ -222,7 +230,7 @@ func (r *Registry) List() []GraphInfo {
 	return infos
 }
 
-// TotalMemoryBytes sums the footprint of every resident graph.
+// TotalMemoryBytes sums the heap footprint of every resident graph.
 func (r *Registry) TotalMemoryBytes() int64 {
 	var total int64
 	for _, info := range r.List() {
@@ -231,16 +239,38 @@ func (r *Registry) TotalMemoryBytes() int64 {
 	return total
 }
 
-// describe builds the registry's listing entry for a loaded graph.
-func describe(name, source string, g *graph.Graph) GraphInfo {
+// TotalMappedBytes sums the memory-mapped bytes of every resident graph
+// (page-cache residency, reported separately from heap footprint).
+func (r *Registry) TotalMappedBytes() int64 {
+	var total int64
+	for _, info := range r.List() {
+		total += info.MappedBytes
+	}
+	return total
+}
+
+// describe builds the registry's listing entry for a loaded graph. The
+// registry hosts any graph.View; footprint, backend name, and mmap
+// residency come from the optional interfaces both backends implement
+// (the CSR *graph.Graph reports format "csr" and no mapped bytes).
+func describe(name, source string, g graph.View) GraphInfo {
 	info := GraphInfo{
-		Name:        name,
-		Source:      source,
-		Vertices:    g.NumVertices(),
-		Edges:       g.NumEdges(),
-		Symmetric:   g.Symmetric(),
-		Weighted:    g.Weighted(),
-		MemoryBytes: g.MemoryFootprint(),
+		Name:      name,
+		Source:    source,
+		Vertices:  g.NumVertices(),
+		Edges:     g.NumEdges(),
+		Symmetric: g.Symmetric(),
+		Weighted:  g.Weighted(),
+		Format:    "csr",
+	}
+	if f, ok := g.(interface{ MemoryFootprint() int64 }); ok {
+		info.MemoryBytes = f.MemoryFootprint()
+	}
+	if f, ok := g.(interface{ FormatName() string }); ok {
+		info.Format = f.FormatName()
+	}
+	if f, ok := g.(interface{ MappedBytes() int64 }); ok {
+		info.MappedBytes = f.MappedBytes()
 	}
 	bestDeg := -1
 	for v := 0; v < g.NumVertices(); v++ {

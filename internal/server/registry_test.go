@@ -29,7 +29,7 @@ func TestLoadSingleFlight(t *testing.T) {
 	g := testGraph(t)
 	var builds atomic.Int64
 	release := make(chan struct{})
-	build := func() (*graph.Graph, error) {
+	build := func() (graph.View, error) {
 		builds.Add(1)
 		<-release // hold the load open until every racer has joined
 		return g, nil
@@ -77,12 +77,12 @@ func TestLoadSingleFlight(t *testing.T) {
 func TestLoadConflictAndEvict(t *testing.T) {
 	r := NewRegistry()
 	g := testGraph(t)
-	build := func() (*graph.Graph, error) { return g, nil }
+	build := func() (graph.View, error) { return g, nil }
 	if _, err := r.Load(context.Background(), "g", "src-a", build); err != nil {
 		t.Fatal(err)
 	}
 	// Same source: idempotent, no rebuild needed.
-	if _, err := r.Load(context.Background(), "g", "src-a", func() (*graph.Graph, error) {
+	if _, err := r.Load(context.Background(), "g", "src-a", func() (graph.View, error) {
 		t.Error("builder ran for an already-resident graph")
 		return g, nil
 	}); err != nil {
@@ -110,13 +110,13 @@ func TestLoadConflictAndEvict(t *testing.T) {
 func TestLoadFailureIsRetryable(t *testing.T) {
 	r := NewRegistry()
 	boom := errors.New("boom")
-	if _, err := r.Load(context.Background(), "g", "src", func() (*graph.Graph, error) {
+	if _, err := r.Load(context.Background(), "g", "src", func() (graph.View, error) {
 		return nil, boom
 	}); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	g := testGraph(t)
-	if _, err := r.Load(context.Background(), "g", "src", func() (*graph.Graph, error) {
+	if _, err := r.Load(context.Background(), "g", "src", func() (graph.View, error) {
 		return g, nil
 	}); err != nil {
 		t.Fatalf("retry after failed load: %v", err)
@@ -127,7 +127,7 @@ func TestListSortedWithMemory(t *testing.T) {
 	r := NewRegistry()
 	g := testGraph(t)
 	for _, name := range []string{"zeta", "alpha"} {
-		if _, err := r.Load(context.Background(), name, "src", func() (*graph.Graph, error) { return g, nil }); err != nil {
+		if _, err := r.Load(context.Background(), name, "src", func() (graph.View, error) { return g, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -31,7 +31,7 @@ func TestReproListDuringLoadRace(t *testing.T) {
 	}
 	go func() {
 		defer close(done)
-		_, _ = r.Load(context.Background(), "g", "src", func() (*graph.Graph, error) {
+		_, _ = r.Load(context.Background(), "g", "src", func() (graph.View, error) {
 			close(started)
 			time.Sleep(50 * time.Millisecond)
 			return g, nil
