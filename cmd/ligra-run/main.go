@@ -216,7 +216,7 @@ func run(args []string, stdout io.Writer) error {
 func loadOrGenerate(path string, symmetric, mmap bool, family string, scale int, seed uint64) (ligra.View, error) {
 	switch {
 	case path != "":
-		return ligra.LoadView(path, symmetric, mmap)
+		return ligra.Load(path, ligra.LoadOptions{Symmetric: symmetric, MMap: mmap})
 	case mmap:
 		return nil, errors.New("-mmap requires a -graph file in the compressed (LIGRAGC1) format")
 	case family == "rmat":

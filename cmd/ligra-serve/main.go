@@ -22,6 +22,13 @@
 //	GET    /v1/graphs/{name}         one graph's stats
 //	DELETE /v1/graphs/{name}         evict
 //	POST   /v1/graphs/{name}/query   {"algo":"bfs","source":0,"timeout_ms":500}
+//	POST   /v1/graphs/{name}/update  {"ops":[{"src":1,"dst":2},{"src":3,"dst":4,"del":true}]}
+//
+// Graphs are dynamic: /update applies batched edge inserts/deletes as
+// versioned immutable snapshots (group-committed within
+// -update-window-ms, compacted past -compact-threshold), queries run
+// against the snapshot they pinned, and connected-components /
+// pagerank-delta queries refresh incrementally from the delta log.
 //
 // On SIGTERM/SIGINT the server drains: it stops accepting queries,
 // gives in-flight ones -drain-timeout to finish, then cancels the rest
@@ -122,6 +129,9 @@ func run(args []string) error {
 		watchdogGrace  = fs.Duration("watchdog-grace", 2*time.Second, "how far past its deadline a query may run before the watchdog trips (negative = watchdog off)")
 		batchWindowMs  = fs.Int("batch-window-ms", 2, "how long the first batchable query (bfs/reach/landmarks) waits for companions before the shared sweep fires (0 = default 2ms, negative = batching off)")
 		batchMax       = fs.Int("batch-max", 64, "max query slots per shared multi-source sweep (<= 64, one visit-word bit each)")
+		updateWindowMs = fs.Int("update-window-ms", 5, "group-commit window for /update batches: the first writer waits this long for companions (0 = default 5ms, negative = apply immediately)")
+		updatePending  = fs.Int("update-max-pending", 0, "max edge ops buffered across forming update commits before 429 (0 = delta-store default)")
+		compactEvery   = fs.Int64("compact-threshold", 0, "overlaid edge-op churn that triggers snapshot compaction (0 = max(4096, edges/8), negative = compaction off)")
 		trustTenant    = fs.Bool("trust-tenant-header", false, "honor the X-Tenant header for fair-share shedding; enable only behind a gateway that sets it (otherwise tenants are client IPs)")
 		logJSON        = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
@@ -150,6 +160,9 @@ func run(args []string) error {
 		WatchdogGrace:     *watchdogGrace,
 		BatchWindow:       time.Duration(*batchWindowMs) * time.Millisecond,
 		BatchMax:          *batchMax,
+		UpdateWindow:      time.Duration(*updateWindowMs) * time.Millisecond,
+		UpdateMaxPending:  *updatePending,
+		CompactEvery:      *compactEvery,
 		TrustTenantHeader: *trustTenant,
 		Logger:            logger,
 	})

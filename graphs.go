@@ -18,9 +18,39 @@ func FromCSR(offsets []int64, edges []uint32, weights []int32, symmetric bool) (
 	return graph.FromCSR(offsets, edges, weights, symmetric)
 }
 
+// LoadOptions configures Load. The zero value loads into the heap and
+// treats text inputs as directed.
+type LoadOptions struct {
+	// Symmetric declares that a text-format file stores an undirected
+	// graph. Binary and compressed files record directedness themselves,
+	// so the flag is ignored for them.
+	Symmetric bool
+	// MMap memory-maps a compressed (LIGRAGC1) file instead of reading
+	// it onto the heap: warm restarts, page-cache sharing across
+	// processes. Requesting it for any other format is an error — only
+	// the compressed layout supports in-place use.
+	MMap bool
+}
+
+// Load reads a graph file in any supported format and returns it as a
+// View. The format is sniffed by content, not extension, in the
+// precedence docs/FORMATS.md documents: the LIGRAGC1 magic loads as a
+// *CompressedGraph (memory-mapped when opts.MMap is set), the LIGRAGO1
+// magic as the binary CSR *Graph, and everything else parses as text —
+// AdjacencyGraph if the header line says so, edge list otherwise.
+// Callers that need a concrete type can type-assert the result; new code
+// should stay on View so every backend (heap, compressed, mapped,
+// delta-overlaid) is accepted downstream.
+func Load(path string, opts LoadOptions) (View, error) {
+	return compress.LoadView(path, opts.Symmetric, opts.MMap)
+}
+
 // LoadGraph reads a graph file (Ligra AdjacencyGraph text format or this
 // package's binary format, auto-detected). symmetric declares whether a
 // text-format file stores an undirected graph.
+//
+// Deprecated: Use Load, which also accepts compressed files and returns
+// a View; type-assert to *Graph when the concrete CSR type is required.
 func LoadGraph(path string, symmetric bool) (*Graph, error) {
 	return graph.LoadFile(path, symmetric)
 }
@@ -37,8 +67,9 @@ func ReadAdjacency(r io.Reader, symmetric bool) (*Graph, error) {
 	return graph.ReadAdjacency(r, symmetric)
 }
 
-// WriteAdjacency writes g in the AdjacencyGraph text format.
-func WriteAdjacency(w io.Writer, g *Graph) error {
+// WriteAdjacency writes g in the AdjacencyGraph text format. It accepts
+// any View (heap, compressed, mapped, or delta-overlaid).
+func WriteAdjacency(w io.Writer, g View) error {
 	return graph.WriteAdjacency(w, g)
 }
 
@@ -50,12 +81,14 @@ func ReadEdgeList(r io.Reader, opts BuildOptions) (*Graph, error) {
 }
 
 // WriteEdgeList writes one "src dst [weight]" line per directed edge.
-func WriteEdgeList(w io.Writer, g *Graph) error {
+// It accepts any View.
+func WriteEdgeList(w io.Writer, g View) error {
 	return graph.WriteEdgeList(w, g)
 }
 
-// ComputeStats scans g and returns structural statistics.
-func ComputeStats(g *Graph) Stats { return graph.ComputeStats(g) }
+// ComputeStats scans g and returns structural statistics. It accepts any
+// View; the memory figure is 0 for backends that do not report one.
+func ComputeStats(g View) Stats { return graph.ComputeStats(g) }
 
 // ValidateGraph checks CSR invariants (and edge pairing for symmetric
 // graphs).
@@ -144,6 +177,9 @@ func Compress(g *Graph) (*CompressedGraph, error) { return compress.Compress(g) 
 // sniffed by content: LIGRAGC1 compressed files load as *CompressedGraph
 // (memory-mapped when mmap is set), LIGRAGO1 binary and text files load
 // as the CSR *Graph. symmetric applies to text inputs only.
+//
+// Deprecated: Use Load, which takes the same parameters as a LoadOptions
+// struct instead of positional booleans.
 func LoadView(path string, symmetric, mmap bool) (View, error) {
 	return compress.LoadView(path, symmetric, mmap)
 }

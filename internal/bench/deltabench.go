@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"ligra/internal/algo"
+	"ligra/internal/core"
+	"ligra/internal/delta"
+)
+
+// DeltaUpdates benchmarks the dynamic-graph subsystem: the throughput of
+// applying batched edge updates through a delta.Store (overlay build +
+// version publish, group-commit window off so the numbers are pure apply
+// cost), and the payoff of incremental recomputation — connected
+// components and PageRank-Delta refreshed from the delta log after a
+// small update batch, versus recomputing from scratch on the same
+// snapshot. The incremental refreshers are exact (the serving tests
+// cross-validate them against full recomputes), so the speedup column is
+// the whole value proposition of the delta log.
+func DeltaUpdates(cfg Config) error {
+	suite := DefaultSuite(cfg.Scale)
+	in, err := FindInput(suite, "rMat")
+	if err != nil {
+		return err
+	}
+	g, err := in.Build()
+	if err != nil {
+		return err
+	}
+	n := g.NumVertices()
+	ctx := context.Background()
+
+	fmt.Fprintf(cfg.Out, "Dynamic updates on %s (n=%d, m=%d; median of %d)\n",
+		in.Name, n, g.NumEdges(), cfg.rounds())
+	fmt.Fprintln(cfg.Out, "  apply = overlay build + snapshot publish per batch (window off, compaction off)")
+	w := cfg.tab()
+	fmt.Fprintln(w, "batch size\tapply s/batch\tops/s")
+	// Deterministic pseudo-random endpoint stream (xorshift), identical
+	// across runs so -against diffs compare like with like. Every third
+	// op deletes the edge inserted two steps earlier, mixing membership
+	// hits and misses the way a churn workload does.
+	mkOps := func(count int, seed uint64) []delta.EdgeOp {
+		ops := make([]delta.EdgeOp, 0, count)
+		s := seed
+		next := func() uint32 {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return uint32(s % uint64(n))
+		}
+		for len(ops) < count {
+			src, dst := next(), next()
+			if src == dst {
+				continue
+			}
+			ops = append(ops, delta.EdgeOp{Src: src, Dst: dst})
+			if len(ops)%3 == 0 && len(ops) >= 2 {
+				prev := ops[len(ops)-2]
+				ops = append(ops, delta.EdgeOp{Src: prev.Src, Dst: prev.Dst, Del: true})
+			}
+		}
+		return ops[:count]
+	}
+	const applyBatches = 8
+	for _, size := range []int{1 << 8, 1 << 12, 1 << 16} {
+		if cfg.budgetExhausted(w) {
+			break
+		}
+		batches := make([][]delta.EdgeOp, applyBatches)
+		for i := range batches {
+			batches[i] = mkOps(size, uint64(i+1)*0x9E3779B97F4A7C15)
+		}
+		t := Measure(cfg.rounds(), func() {
+			st := delta.NewStore(g, delta.Config{Policy: delta.Policy{CompactEvery: -1, HistoryDepth: -1}})
+			defer st.Release()
+			for _, ops := range batches {
+				if _, err := st.Update(ctx, ops); err != nil {
+					panic(fmt.Errorf("delta bench apply: %w", err))
+				}
+			}
+		})
+		perBatch := t.Median.Seconds() / applyBatches
+		cfg.record(fmt.Sprintf("delta/apply/%d", size), perBatch)
+		fmt.Fprintf(w, "%d\t%.6f\t%.0f\n", size, perBatch, float64(size)/perBatch)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	// Incremental refresh vs full recompute. Each measured round applies
+	// one fresh batch (untimed) and then times the incremental refresh,
+	// which replays exactly that batch from the delta log; the full
+	// column recomputes on the same snapshot the refresh produced.
+	const refreshOps = 256
+	fmt.Fprintf(cfg.Out, "Incremental refresh after a %d-op batch vs full recompute (seconds)\n", refreshOps)
+	w = cfg.tab()
+	fmt.Fprintln(w, "algo\tfull\tincremental\tspeedup")
+
+	median := func(ds []time.Duration) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+	run := func(name string, refresh func(pin *delta.Pin) error, full func(pin *delta.Pin) error) error {
+		st := delta.NewStore(g, delta.Config{Policy: delta.Policy{CompactEvery: -1, HistoryDepth: 64}})
+		defer st.Release()
+		// Seed the tracker: the first refresh is always a full run.
+		pin, err := st.Acquire()
+		if err != nil {
+			return err
+		}
+		if err := refresh(pin); err != nil {
+			pin.Release()
+			return err
+		}
+		pin.Release()
+		var incTimes, fullTimes []time.Duration
+		for i := 0; i < cfg.rounds(); i++ {
+			if _, err := st.Update(ctx, mkOps(refreshOps, uint64(i+1)*0xA0761D6478BD642F)); err != nil {
+				return err
+			}
+			pin, err := st.Acquire()
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			err = refresh(pin)
+			incTimes = append(incTimes, time.Since(start))
+			if err == nil {
+				start = time.Now()
+				err = full(pin)
+				fullTimes = append(fullTimes, time.Since(start))
+			}
+			pin.Release()
+			if err != nil {
+				return err
+			}
+		}
+		stats := st.Stats()
+		if stats.IncrementalRuns == 0 {
+			fmt.Fprintf(w, "%s\t[no incremental runs: fell back to full recompute]\n", name)
+			return nil
+		}
+		fs, is := median(fullTimes).Seconds(), median(incTimes).Seconds()
+		cfg.record("delta/"+name+"/full", fs)
+		cfg.record("delta/"+name+"/incremental", is)
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.1fx\n", name, fs, is, fs/is)
+		return nil
+	}
+
+	if !cfg.Expired() {
+		emOpts := core.Options{}
+		if err := run("components",
+			func(pin *delta.Pin) error {
+				_, _, err := pin.Store().RefreshCC(ctx, pin, emOpts)
+				return err
+			},
+			func(pin *delta.Pin) error {
+				_, err := algo.ConnectedComponentsCtx(ctx, pin.View(), emOpts)
+				return err
+			}); err != nil {
+			return err
+		}
+	}
+	if !cfg.Expired() {
+		prOpts := algo.DefaultPageRankOptions()
+		const prDelta = 1e-3
+		if err := run("pagerank-delta",
+			func(pin *delta.Pin) error {
+				_, _, err := pin.Store().RefreshPageRankDelta(ctx, pin, prOpts, prDelta)
+				return err
+			},
+			func(pin *delta.Pin) error {
+				_, err := algo.PageRankDeltaCtx(ctx, pin.View(), prOpts, prDelta)
+				return err
+			}); err != nil {
+			return err
+		}
+	}
+	if cfg.Expired() {
+		fmt.Fprintln(w, "[budget exhausted: remaining measurements skipped]")
+	}
+	return w.Flush()
+}

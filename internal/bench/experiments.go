@@ -554,10 +554,11 @@ func Experiments() map[string]func(Config) error {
 		"servecache":   ServeCache,
 		"scheduler":    Scheduler,
 		"batch":        Batch,
+		"delta":        DeltaUpdates,
 	}
 }
 
 // ExperimentOrder lists the IDs in presentation order.
 func ExperimentOrder() []string {
-	return []string{"table1", "table2", "scalability", "frontier", "threshold", "denseforward", "compress", "dedup", "bucketing", "hotpath", "servecache", "scheduler", "batch"}
+	return []string{"table1", "table2", "scalability", "frontier", "threshold", "denseforward", "compress", "dedup", "bucketing", "hotpath", "servecache", "scheduler", "batch", "delta"}
 }

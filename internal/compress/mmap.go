@@ -18,11 +18,13 @@ import (
 // the kernel evicts cold pages under pressure instead of the process
 // swapping.
 //
-// Lifetime: the mapping is released by a finalizer when the graph becomes
-// unreachable, so evicting a mapped graph from a registry while queries
-// still traverse it is safe — the mapping outlives the last reference.
-// Close unmaps eagerly and must only be called when no traversal can touch
-// the graph again.
+// Lifetime: Close unmaps eagerly and must only be called when no
+// traversal can touch the graph again. Long-lived hosts track that
+// moment explicitly — the ligra-serve registry wraps every mapped graph
+// in a delta.Store whose pin refcount calls Close deterministically once
+// the graph is evicted AND the last pinned reader releases. A finalizer
+// backstops graphs that are dropped without Close (short-lived tools,
+// tests), so an unreferenced mapping is reclaimed either way.
 
 // fromMapping builds a CompressedGraph whose sections alias data (a whole
 // LIGRAGC1 file). It validates exactly like ReadCompressed — including the
@@ -85,9 +87,10 @@ func finishMapping(c *CompressedGraph, data []byte) {
 
 // Close releases the mapping, if any. After Close the graph must not be
 // traversed: its sections alias the unmapped region. Heap-resident graphs
-// ignore Close. Long-lived hosts (the ligra-serve registry) never call
-// Close and rely on the finalizer, so eviction with in-flight queries is
-// safe.
+// ignore Close. The ligra-serve registry calls Close through the delta
+// store's pin refcount — deterministically, once a graph is evicted and
+// its last pinned reader releases — so eviction with in-flight queries
+// never unmaps under a running traversal.
 func (c *CompressedGraph) Close() error {
 	if c.mapped == nil {
 		return nil

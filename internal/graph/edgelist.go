@@ -66,8 +66,8 @@ func ReadEdgeList(r io.Reader, opts BuildOptions) (*Graph, error) {
 }
 
 // WriteEdgeList writes g as one "src dst [weight]" line per directed
-// edge, a format every graph tool ingests.
-func WriteEdgeList(w io.Writer, g *Graph) error {
+// edge, a format every graph tool ingests. It accepts any View.
+func WriteEdgeList(w io.Writer, g View) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	fmt.Fprintf(bw, "# ligra-go edge list: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
 	var err error

@@ -131,13 +131,17 @@ func ReadAdjacency(r io.Reader, symmetric bool) (*Graph, error) {
 }
 
 // WriteAdjacency writes g in the (Weighted)AdjacencyGraph text format.
-func WriteAdjacency(w io.Writer, g *Graph) error {
+// It accepts any View: offsets are rebuilt from out-degrees, so
+// compressed, mapped, and delta-overlaid graphs serialize without first
+// materializing a CSR copy.
+func WriteAdjacency(w io.Writer, g View) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	header := headerAdjacency
 	if g.Weighted() {
 		header = headerWeightedAdjacency
 	}
-	if _, err := fmt.Fprintf(bw, "%s\n%d\n%d\n", header, g.n, g.m); err != nil {
+	n := g.NumVertices()
+	if _, err := fmt.Fprintf(bw, "%s\n%d\n%d\n", header, n, g.NumEdges()); err != nil {
 		return err
 	}
 	var scratch []byte
@@ -147,22 +151,30 @@ func WriteAdjacency(w io.Writer, g *Graph) error {
 		_, err := bw.Write(scratch)
 		return err
 	}
-	for v := 0; v < g.n; v++ {
-		if err := writeInt(g.offsets[v]); err != nil {
+	var off int64
+	for v := 0; v < n; v++ {
+		if err := writeInt(off); err != nil {
 			return err
 		}
+		off += int64(g.OutDegree(uint32(v)))
 	}
-	for _, d := range g.edges {
-		if err := writeInt(int64(d)); err != nil {
-			return err
+	var err error
+	for v := 0; v < n && err == nil; v++ {
+		g.OutNeighbors(uint32(v), func(d uint32, _ int32) bool {
+			err = writeInt(int64(d))
+			return err == nil
+		})
+	}
+	if err == nil && g.Weighted() {
+		for v := 0; v < n && err == nil; v++ {
+			g.OutNeighbors(uint32(v), func(_ uint32, wt int32) bool {
+				err = writeInt(int64(wt))
+				return err == nil
+			})
 		}
 	}
-	if g.Weighted() {
-		for _, wt := range g.weights {
-			if err := writeInt(int64(wt)); err != nil {
-				return err
-			}
-		}
+	if err != nil {
+		return err
 	}
 	return bw.Flush()
 }

@@ -18,11 +18,13 @@ type Stats struct {
 	AvgDeg      float64
 	ZeroDegree  int   // vertices with out-degree 0
 	SelfLoops   int64 // edges with Src == Dst
-	MemoryBytes int64 // approximate CSR footprint
+	MemoryBytes int64 // backend-reported footprint (0 when the view does not expose one)
 }
 
-// ComputeStats scans g and returns its Stats.
-func ComputeStats(g *Graph) Stats {
+// ComputeStats scans g and returns its Stats. It accepts any View; the
+// memory figure comes from the optional MemoryFootprint method and is 0
+// for backends that do not report one.
+func ComputeStats(g View) Stats {
 	n := g.NumVertices()
 	s := Stats{
 		Vertices:  n,
@@ -47,7 +49,9 @@ func ComputeStats(g *Graph) Stats {
 		})
 		return c
 	})
-	s.MemoryBytes = g.MemoryFootprint()
+	if mf, ok := g.(interface{ MemoryFootprint() int64 }); ok {
+		s.MemoryBytes = mf.MemoryFootprint()
+	}
 	return s
 }
 

@@ -29,6 +29,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
 	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleEvict)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/update", s.handleUpdate)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -56,13 +57,20 @@ func retryAfter(w http.ResponseWriter, d time.Duration) {
 
 // healthGraph is one graph's load state in the readiness document.
 type healthGraph struct {
-	Name  string `json:"name"`
-	State string `json:"state"` // "ready" | "loading"
+	Name string `json:"name"`
+	// State is "ready", "loading", or "compacting". A compacting graph
+	// keeps serving its current snapshot, so the state is informational
+	// and never fails readiness.
+	State string `json:"state"`
 	// Format names the resident backend ("csr", "compressed",
-	// "compressed+mmap"); empty while loading.
+	// "compressed+mmap", with "+delta" appended while un-compacted
+	// updates are overlaid); empty while loading.
 	Format string `json:"format,omitempty"`
 	// MappedBytes reports mmap residency for compressed+mmap graphs.
 	MappedBytes int64 `json:"mapped_bytes,omitempty"`
+	// SnapshotVersion is the current snapshot's version (see /metrics for
+	// the reader-lag gauges alongside it).
+	SnapshotVersion uint64 `json:"snapshot_version,omitempty"`
 }
 
 // healthResponse is the readiness document served at /healthz.
@@ -97,12 +105,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthResponse{Status: "ok", Graphs: []healthGraph{}}
 	for _, info := range s.reg.List() {
 		state := "ready"
-		if info.Loading {
+		switch {
+		case info.Loading:
 			state = "loading"
+		case info.Compacting:
+			// Still serving the current snapshot; readiness unaffected.
+			state = "compacting"
 		}
 		resp.Graphs = append(resp.Graphs, healthGraph{
 			Name: info.Name, State: state,
 			Format: info.Format, MappedBytes: info.MappedBytes,
+			SnapshotVersion: info.SnapshotVersion,
 		})
 	}
 	resp.Breakers = s.breakers.States()
@@ -350,7 +363,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	g, info, err := s.reg.Get(r.Context(), name)
+	// Pin the graph's current snapshot for the whole query: the view —
+	// including an mmap-backed base — stays valid until the pin is
+	// released, even if the graph is evicted or updated mid-query.
+	pin, info, err := s.reg.Acquire(r.Context(), name)
 	if err != nil {
 		status := http.StatusNotFound
 		if !errors.Is(err, ErrNotFound) {
@@ -359,6 +375,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	defer pin.Release()
+	g := pin.View()
 	source := info.DefaultSource
 	if req.Source != nil {
 		if *req.Source < 0 || *req.Source >= int64(g.NumVertices()) {
@@ -455,9 +473,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	params := req.Params
 	params.Source = source
+	// The cache generation is the pinned snapshot's version: load
+	// generations and update versions share one per-name sequence, so a
+	// cached result is provably from exactly this snapshot — queries
+	// racing an update batch simply key under the version they pinned.
 	key := engine.Key{
 		Graph:      name,
-		Generation: info.Generation,
+		Generation: pin.Version(),
 		Algo:       runner.Name,
 		Params:     params.Canonical(),
 	}
@@ -482,17 +504,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// graph generation and traversal options; cache lookups/fills
 		// and slot coalescing happen inside the collector, so the
 		// engine's single-flight layer is bypassed, not duplicated.
+		// The shape key includes the snapshot version, so every slot of a
+		// sweep pinned the identical snapshot. The sweep itself can fire
+		// after this handler's pin is gone (detached window fire), so it
+		// re-pins at execution time and aborts if the graph was evicted.
+		run := batch.ClusterRun(g)
 		val, binfo, err = s.batcher.Execute(ctx, batch.Request{
 			Key:    key,
-			Shape:  fmt.Sprintf("%s gen=%d mode=%s threshold=%d", name, info.Generation, params.Mode, params.Threshold),
+			Shape:  fmt.Sprintf("%s gen=%d mode=%s threshold=%d", name, pin.Version(), params.Mode, params.Threshold),
 			Algo:   runner.Name,
 			Params: params,
-		}, batch.ClusterRun(g))
+		}, func(sweepCtx context.Context, procs int, slots []batch.Request) ([]engine.Value, error) {
+			sweepPin, ok := pin.Store().TryAcquire()
+			if !ok {
+				return nil, fmt.Errorf("graph %q evicted before its batched sweep ran", name)
+			}
+			defer sweepPin.Release()
+			return run(sweepCtx, procs, slots)
+		})
 		how = engine.Info{Cached: binfo.Cached, Coalesced: binfo.Coalesced, Procs: binfo.Procs}
 	} else {
 		val, how, err = s.engine.Execute(ctx, key, func(runCtx context.Context, procs int) (engine.Value, error) {
 			p := params
 			p.EdgeMap.Procs = procs // cap every edgeMap of the run at the lease
+			// Algorithms with incremental refresh paths are served from
+			// the snapshot store's memoized state when the delta log can
+			// carry it forward; everything else runs the plain runner.
+			if v, handled, err := incrementalRun(runCtx, pin, runner.Name, p); handled {
+				return v, err
+			}
 			res, err := safeRun(runner, runCtx, g, p)
 			return engine.Value{Data: res, Bytes: res.EstimateBytes()}, err
 		})

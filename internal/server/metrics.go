@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ligra/internal/core"
+	"ligra/internal/delta"
 	"ligra/internal/parallel"
 	"ligra/internal/server/batch"
 	"ligra/internal/server/engine"
@@ -108,6 +109,13 @@ type Snapshot struct {
 	// batched, mean batch size, window fires, fanout errors); all-zero
 	// when batching is disabled.
 	Batch batch.Stats `json:"batch"`
+	// Updates aggregates every resident graph's delta-store counters:
+	// update batches and requests, effective edge inserts/deletes,
+	// no-ops, backlog rejections, compactions, and how often the
+	// incremental refreshers replayed the delta log versus recomputing.
+	// Per-graph snapshot_version / pinned_readers gauges live on the
+	// entries in Graphs.
+	Updates delta.Stats `json:"updates"`
 }
 
 // ResilienceSnapshot is the /metrics "resilience" block, flattening the
@@ -155,6 +163,7 @@ func (m *Metrics) Snapshot(reg *Registry, eng *engine.Engine, res ResilienceSnap
 			s.GraphBytes += info.MemoryBytes
 			s.GraphMappedBytes += info.MappedBytes
 		}
+		s.Updates = reg.UpdateStats()
 	}
 	if eng != nil {
 		s.Query = eng.Snapshot()

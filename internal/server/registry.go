@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"ligra/internal/delta"
 	"ligra/internal/graph"
 	"ligra/internal/server/resilience"
 )
@@ -62,16 +63,37 @@ type GraphInfo struct {
 	// generation than the one it displaced. Result-cache keys include it,
 	// which is what makes a cached result provably from this residency.
 	Generation uint64 `json:"generation"`
+	// SnapshotVersion is the version of the graph's current snapshot. It
+	// starts at Generation and advances through the same per-name counter
+	// on every applied /update batch, so versions and load generations
+	// form one strictly increasing sequence — a result cached under any
+	// version key is provably from exactly that snapshot.
+	SnapshotVersion uint64 `json:"snapshot_version"`
+	// PinnedReaders is how many in-flight queries currently hold a pin on
+	// one of this graph's snapshots.
+	PinnedReaders int64 `json:"pinned_readers"`
+	// Compacting reports that an update batch is currently materializing
+	// a flat CSR snapshot; the graph keeps serving its current snapshot
+	// throughout.
+	Compacting bool `json:"compacting,omitempty"`
+	// DirtyRows is how many adjacency rows the current snapshot overlays
+	// on its base (0 once compaction has caught up).
+	DirtyRows int `json:"dirty_rows,omitempty"`
 }
 
 type regEntry struct {
 	// ready is closed when the load (in the goroutine of the first
-	// requester) finishes; g/err/info are immutable afterwards.
+	// requester) finishes; g/store/err are immutable afterwards. info is
+	// republished under Registry.mu when update batches change the
+	// graph's shape, so reads of it always take the lock.
 	ready  chan struct{}
 	source string
 	g      graph.View
-	err    error
-	info   GraphInfo
+	// store owns the graph's snapshot versions, pins, and update log;
+	// nil while loading and on entries evicted mid-load.
+	store *delta.Store
+	err   error
+	info  GraphInfo
 }
 
 // Registry is the set of named resident graphs. Loads of the same name
@@ -91,6 +113,11 @@ type Registry struct {
 	// nil budget means no retries.
 	retryBudget *resilience.Budget
 	retryCfg    resilience.RetryConfig
+
+	// updatePolicy parameterizes each graph's delta store (group-commit
+	// window, pending-op budget, compaction threshold). Set before
+	// serving via SetUpdatePolicy.
+	updatePolicy delta.Policy
 }
 
 // NewRegistry returns an empty registry.
@@ -106,6 +133,21 @@ func (r *Registry) SetLoadRetry(budget *resilience.Budget, cfg resilience.RetryC
 
 // RetryBudget exposes the load-retry budget (nil when retries are off).
 func (r *Registry) RetryBudget() *resilience.Budget { return r.retryBudget }
+
+// SetUpdatePolicy sets the delta-store policy applied to graphs loaded
+// from now on. Call before serving; it is not synchronized with
+// in-flight loads.
+func (r *Registry) SetUpdatePolicy(p delta.Policy) { r.updatePolicy = p }
+
+// nextGen advances name's generation counter. It backs both load
+// generations and snapshot versions, so the two share one strictly
+// increasing sequence per name.
+func (r *Registry) nextGen(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gens[name]++
+	return r.gens[name]
+}
 
 // runBuild executes one build, retrying transient failures under the
 // registry's budget. ctx bounds the backoff sleeps (the first
@@ -161,17 +203,32 @@ func (r *Registry) Load(ctx context.Context, name, source string, build func() (
 		return GraphInfo{}, e.err
 	}
 	e.g = g
+	store := delta.NewStore(g, delta.Config{
+		Policy:         r.updatePolicy,
+		InitialVersion: gen,
+		NextVersion:    func() uint64 { return r.nextGen(name) },
+	})
 	info := describe(name, source, g)
 	info.Generation = gen
+	info.SnapshotVersion = gen
 	info.LoadedAt = start
 	info.LoadMillis = float64(time.Since(start).Microseconds()) / 1000
 	// Publish the final info under the registry lock: List reads e.info
 	// of still-loading entries (the Loading placeholder), so this write
 	// must be synchronized with those reads, not just with the ready
-	// channel's close.
+	// channel's close. An evict that raced the load wins: the store is
+	// released immediately (it can have no pins yet) and the entry stays
+	// unregistered.
 	r.mu.Lock()
+	alive := r.entries[name] == e
+	if alive {
+		e.store = store
+	}
 	e.info = info
 	r.mu.Unlock()
+	if !alive {
+		store.Release()
+	}
 	close(e.ready)
 	return info, nil
 }
@@ -180,14 +237,19 @@ func (r *Registry) Load(ctx context.Context, name, source string, build func() (
 func (r *Registry) wait(ctx context.Context, e *regEntry) (GraphInfo, error) {
 	select {
 	case <-e.ready:
-		return e.info, e.err
+		r.mu.Lock()
+		info := e.info
+		r.mu.Unlock()
+		return info, e.err
 	case <-ctx.Done():
 		return GraphInfo{}, ctx.Err()
 	}
 }
 
-// Get returns the named resident graph, blocking on an in-flight load
-// until it settles or ctx is done.
+// Get returns the named resident graph's base view, blocking on an
+// in-flight load until it settles or ctx is done. The base view does not
+// include applied update batches — query paths should Acquire a pinned
+// snapshot instead.
 func (r *Registry) Get(ctx context.Context, name string) (graph.View, GraphInfo, error) {
 	r.mu.Lock()
 	e, ok := r.entries[name]
@@ -195,39 +257,174 @@ func (r *Registry) Get(ctx context.Context, name string) (graph.View, GraphInfo,
 	if !ok {
 		return nil, GraphInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	if info, err := r.wait(ctx, e); err != nil {
+	info, err := r.wait(ctx, e)
+	if err != nil {
 		return nil, info, err
 	}
-	return e.g, e.info, nil
+	return e.g, info, nil
+}
+
+// Acquire pins the named graph's current snapshot for a reader: the
+// returned pin's view stays valid — including its backing mmap — until
+// the pin is released, even across eviction. Blocks on an in-flight load
+// until it settles or ctx is done.
+func (r *Registry) Acquire(ctx context.Context, name string) (*delta.Pin, GraphInfo, error) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, GraphInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	info, err := r.wait(ctx, e)
+	if err != nil {
+		return nil, info, err
+	}
+	r.mu.Lock()
+	store := e.store
+	r.mu.Unlock()
+	if store == nil {
+		return nil, GraphInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	pin, err := store.Acquire()
+	if err != nil {
+		// Evicted between lookup and pin: same answer as never registered.
+		return nil, GraphInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return pin, info, nil
+}
+
+// Update applies an edge batch to the named graph through its delta
+// store's group commit, then refreshes the listing so /graphs and
+// /metrics reflect the new snapshot. Fails with ErrNotFound for unknown
+// or evicted names and delta.ErrBusy when the update backlog is full.
+func (r *Registry) Update(ctx context.Context, name string, ops []delta.EdgeOp) (delta.ApplyResult, error) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	r.mu.Unlock()
+	if !ok {
+		return delta.ApplyResult{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if _, err := r.wait(ctx, e); err != nil {
+		return delta.ApplyResult{}, err
+	}
+	r.mu.Lock()
+	store := e.store
+	r.mu.Unlock()
+	if store == nil {
+		return delta.ApplyResult{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	res, err := store.Update(ctx, ops)
+	if err != nil {
+		if errors.Is(err, delta.ErrReleased) {
+			err = fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		return res, err
+	}
+	if res.Version != res.PrevVersion {
+		view, _ := store.Current()
+		r.mu.Lock()
+		// SnapshotVersion orders concurrent refreshes: a commit that
+		// settled late must not clobber the listing with older numbers.
+		if r.entries[name] == e && res.Version > e.info.SnapshotVersion {
+			e.info.SnapshotVersion = res.Version
+			e.info.Vertices = res.Vertices
+			e.info.Edges = res.Edges
+			e.info.Format = "csr"
+			if f, ok := view.(interface{ FormatName() string }); ok {
+				e.info.Format = f.FormatName()
+			}
+			if f, ok := view.(interface{ MemoryFootprint() int64 }); ok {
+				e.info.MemoryBytes = f.MemoryFootprint()
+			}
+			if f, ok := view.(interface{ MappedBytes() int64 }); ok {
+				e.info.MappedBytes = f.MappedBytes()
+			}
+		}
+		r.mu.Unlock()
+	}
+	return res, nil
+}
+
+// Store returns the named graph's delta store once its load has
+// settled, or nil.
+func (r *Registry) Store(name string) *delta.Store {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		return e.store
+	}
+	return nil
 }
 
 // Evict removes the named graph, reporting whether it was registered. An
 // in-flight load is unregistered immediately; its requesters still
-// receive the load's outcome.
+// receive the load's outcome. The graph's backend is closed (unmapping
+// an mmap-backed graph) as soon as the last pinned reader detaches — an
+// in-flight query never observes its snapshot disappearing.
 func (r *Registry) Evict(name string) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.entries[name]; !ok {
-		return false
+	e, ok := r.entries[name]
+	if ok {
+		delete(r.entries, name)
 	}
-	delete(r.entries, name)
-	return true
+	var store *delta.Store
+	if ok {
+		store = e.store
+	}
+	r.mu.Unlock()
+	if store != nil {
+		store.Release()
+	}
+	return ok
 }
 
 // List returns every registered graph (including in-flight loads, marked
-// Loading) sorted by name.
+// Loading) sorted by name, with live snapshot gauges (version, pinned
+// readers, compaction state) filled from each graph's delta store.
 func (r *Registry) List() []GraphInfo {
 	// e.info is either the Loading placeholder or the final description;
 	// both are published under r.mu, so one locked pass copies them
 	// race-free (a still-loading entry simply lists as its placeholder).
+	// Store gauges are read after unlocking — store methods are never
+	// called under r.mu.
 	r.mu.Lock()
 	infos := make([]GraphInfo, 0, len(r.entries))
+	stores := make([]*delta.Store, 0, len(r.entries))
 	for _, e := range r.entries {
 		infos = append(infos, e.info)
+		stores = append(stores, e.store)
 	}
 	r.mu.Unlock()
+	for i, st := range stores {
+		if st == nil {
+			continue
+		}
+		g := st.Gauges()
+		infos[i].SnapshotVersion = g.Version
+		infos[i].PinnedReaders = g.PinnedReaders
+		infos[i].Compacting = g.Compacting
+		infos[i].DirtyRows = g.DirtyRows
+	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	return infos
+}
+
+// UpdateStats aggregates every resident graph's update counters for the
+// /metrics "updates" block.
+func (r *Registry) UpdateStats() delta.Stats {
+	r.mu.Lock()
+	stores := make([]*delta.Store, 0, len(r.entries))
+	for _, e := range r.entries {
+		if e.store != nil {
+			stores = append(stores, e.store)
+		}
+	}
+	r.mu.Unlock()
+	var total delta.Stats
+	for _, st := range stores {
+		total.Add(st.Stats())
+	}
+	return total
 }
 
 // TotalMemoryBytes sums the heap footprint of every resident graph.

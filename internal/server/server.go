@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ligra/internal/delta"
 	"ligra/internal/server/batch"
 	"ligra/internal/server/engine"
 	"ligra/internal/server/resilience"
@@ -67,6 +68,26 @@ type Config struct {
 	// (each retry spends one token; the bucket refills over ~10s); 0
 	// selects 10; negative disables load retries.
 	RetryBudget int
+	// UpdateWindow is the group-commit window for /update batches: the
+	// first writer waits this long for companions so a burst of small
+	// updates lands as one snapshot. 0 selects 5ms; negative applies
+	// each request immediately (concurrent writers still coalesce behind
+	// the serialized apply).
+	UpdateWindow time.Duration
+	// UpdateMaxPending caps the edge ops buffered across forming update
+	// commits; past it /update rejects with 429 + Retry-After. 0 selects
+	// the delta-store default (1<<20).
+	UpdateMaxPending int
+	// CompactEvery is the churn threshold (effective ops overlaid on the
+	// base snapshot) past which an update commit materializes a flat CSR
+	// snapshot. 0 selects max(4096, |E|/8); negative disables
+	// compaction.
+	CompactEvery int64
+	// UpdateHistoryDepth is how many applied update batches each graph
+	// keeps for incremental-recomputation replay. 0 selects 8; negative
+	// keeps none (every refresh recomputes in full).
+	UpdateHistoryDepth int
+
 	// TrustTenantHeader honors the X-Tenant request header as the
 	// tenant identity for fair-share shedding. The header is
 	// unauthenticated: enable it only when a trusted gateway in front
@@ -139,6 +160,17 @@ func (c Config) batchWindow() time.Duration {
 	}
 }
 
+func (c Config) updateWindow() time.Duration {
+	switch {
+	case c.UpdateWindow > 0:
+		return c.UpdateWindow
+	case c.UpdateWindow < 0:
+		return 0 // apply immediately
+	default:
+		return 5 * time.Millisecond
+	}
+}
+
 func (c Config) retryBudget() float64 {
 	switch {
 	case c.RetryBudget > 0:
@@ -202,6 +234,12 @@ func New(cfg Config) *Server {
 		resilience.NewBudget(cfg.retryBudget(), 0),
 		resilience.RetryConfig{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second},
 	)
+	s.reg.SetUpdatePolicy(delta.Policy{
+		Window:       cfg.updateWindow(),
+		MaxPending:   cfg.UpdateMaxPending,
+		CompactEvery: cfg.CompactEvery,
+		HistoryDepth: cfg.UpdateHistoryDepth,
+	})
 	s.baseCtx, s.cancelInflight = context.WithCancel(context.Background())
 	if w := cfg.batchWindow(); w > 0 {
 		// The collector shares the engine's cache and governor so a

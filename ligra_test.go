@@ -400,3 +400,92 @@ func TestPublicDedupStrategies(t *testing.T) {
 		}
 	}
 }
+
+func TestPublicLoadSniffsEveryFormat(t *testing.T) {
+	g, err := ligra.RandomLocal(400, 4, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// One file per on-disk format; Load must sniff each by content.
+	if err := ligra.SaveGraph(dir+"/g.txt", g, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := ligra.SaveGraph(dir+"/g.bin", g, true); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ligra.Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ligra.SaveCompressed(dir+"/g.gc", c); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		path string
+		opts ligra.LoadOptions
+	}{
+		{dir + "/g.txt", ligra.LoadOptions{Symmetric: true}},
+		{dir + "/g.bin", ligra.LoadOptions{}},
+		{dir + "/g.gc", ligra.LoadOptions{}},
+	} {
+		v, err := ligra.Load(tc.path, tc.opts)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", tc.path, err)
+		}
+		if v.NumVertices() != g.NumVertices() || v.NumEdges() != g.NumEdges() {
+			t.Errorf("Load(%s): got %d/%d vertices/edges, want %d/%d",
+				tc.path, v.NumVertices(), v.NumEdges(), g.NumVertices(), g.NumEdges())
+		}
+	}
+
+	// mmap is only legal for the compressed format.
+	if _, err := ligra.Load(dir+"/g.bin", ligra.LoadOptions{MMap: true}); err == nil {
+		t.Error("Load with MMap on a binary CSR file should fail")
+	}
+}
+
+func TestPublicWritersAcceptViews(t *testing.T) {
+	g, err := ligra.RandomLocal(200, 4, 40, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ligra.Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// WriteAdjacency from a compressed view equals the heap graph's output.
+	var fromHeap, fromCompressed bytes.Buffer
+	if err := ligra.WriteAdjacency(&fromHeap, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := ligra.WriteAdjacency(&fromCompressed, c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromHeap.Bytes(), fromCompressed.Bytes()) {
+		t.Error("WriteAdjacency output differs between heap and compressed views")
+	}
+
+	var el bytes.Buffer
+	if err := ligra.WriteEdgeList(&el, c); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ligra.ReadEdgeList(&el, ligra.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Errorf("edge-list round trip: %d edges, want %d", g2.NumEdges(), g.NumEdges())
+	}
+
+	// ComputeStats on a view without a MemoryFootprint reports 0 bytes
+	// but everything else.
+	sc := ligra.ComputeStats(c)
+	sg := ligra.ComputeStats(g)
+	if sc.Vertices != sg.Vertices || sc.Edges != sg.Edges || sc.MaxOutDeg != sg.MaxOutDeg {
+		t.Errorf("stats differ between views: %+v vs %+v", sc, sg)
+	}
+}
