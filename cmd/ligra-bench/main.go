@@ -15,14 +15,18 @@
 //	servecache    query-engine result cache off vs on
 //	scheduler     worker-pool scheduler: small-round workloads with the
 //	              sequential cutoff on vs off
+//	spmv          execution-backend race: edgeMap vs semiring kernels
 //	all           everything above, in order
 //
 // -json writes a machine-readable report; -against FILE compares the
 // current run's measurements to a previously written report and warns
-// when any is more than 10% slower (see docs/PERFORMANCE.md):
+// when any is more than -drift-tolerance slower (default 10%, see
+// docs/PERFORMANCE.md). -against-strict turns those warnings into a
+// non-zero exit, for CI smoke gates with a suitably generous tolerance:
 //
 //	ligra-bench -experiment hotpath -scale 16 -json BENCH_baseline.json
 //	ligra-bench -experiment hotpath -scale 16 -against BENCH_baseline.json
+//	ligra-bench -experiment hotpath -against BENCH_baseline.json -against-strict -drift-tolerance 3.0
 //
 // Usage:
 //
@@ -44,9 +48,10 @@ import (
 	"ligra/internal/parallel"
 )
 
-// regressionTolerance is the -against warning threshold: measurements more
-// than 10% slower than their baseline are flagged.
-const regressionTolerance = 0.10
+// defaultDriftTolerance is the -against warning threshold: measurements
+// more than 10% slower than their baseline are flagged. Override with
+// -drift-tolerance.
+const defaultDriftTolerance = 0.10
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -65,7 +70,9 @@ func run(args []string, stdout io.Writer) error {
 		maxProcs   = fs.Int("maxprocs", 0, "largest worker count in the scalability sweep (0 = GOMAXPROCS; per-call leases clamp at GOMAXPROCS)")
 		budget     = fs.Duration("budget", 0, "wall-clock budget for the whole run (0 = none); experiments stop between measurements when it expires and report partial tables")
 		jsonPath   = fs.String("json", "", "also write machine-readable results (per-measurement times, traversal counters, graph sizes, GOMAXPROCS) to this path")
-		against    = fs.String("against", "", "baseline JSON report to compare this run to; warns when a measurement is >10% slower")
+		against    = fs.String("against", "", "baseline JSON report to compare this run to; warns when a measurement drifts past -drift-tolerance")
+		strict     = fs.Bool("against-strict", false, "exit non-zero when any -against measurement regressed past -drift-tolerance (CI gate; pair with a generous tolerance on shared runners)")
+		tolerance  = fs.Float64("drift-tolerance", defaultDriftTolerance, "fractional slowdown vs -against baseline that counts as a regression (0.10 = 10% slower)")
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -151,41 +158,49 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "\n[json results written to %s]\n", *jsonPath)
 	}
 	if *against != "" {
-		if err := compare(stdout, *against, report); err != nil {
+		warned, err := compare(stdout, *against, report, *tolerance)
+		if err != nil {
 			return err
+		}
+		if *strict && warned > 0 {
+			return fmt.Errorf("%d measurement(s) regressed more than %.0f%% against %s",
+				warned, *tolerance*100, *against)
 		}
 	}
 	return nil
 }
 
 // compare prints the baseline comparison table and per-measurement
-// regression warnings. Regressions warn rather than fail: the comparison
-// is a review aid, and CI environments are too noisy for a hard gate.
-func compare(stdout io.Writer, baselinePath string, current *bench.JSONReport) error {
+// regression warnings, returning how many measurements regressed past
+// tolerance. By default regressions warn rather than fail — the
+// comparison is a review aid, and CI environments are too noisy for a
+// tight hard gate — but -against-strict promotes a non-zero count to a
+// non-zero exit.
+func compare(stdout io.Writer, baselinePath string, current *bench.JSONReport, tolerance float64) (int, error) {
 	baseline, err := bench.ReadReport(baselinePath)
 	if err != nil {
-		return fmt.Errorf("baseline: %w", err)
+		return 0, fmt.Errorf("baseline: %w", err)
 	}
 	deltas := bench.Compare(baseline, current)
 	if len(deltas) == 0 {
 		fmt.Fprintf(stdout, "\n[no timings in common with baseline %s — run the same -experiment set]\n", baselinePath)
-		return nil
+		return 0, nil
 	}
 	fmt.Fprintf(stdout, "\ncomparison against %s (scale %d, %d-way):\n",
 		baselinePath, baseline.Scale, baseline.GoMaxProcs)
 	warned := 0
 	for _, d := range deltas {
 		verdict := fmt.Sprintf("%+.1f%%", (d.Ratio-1)*100)
-		if d.Regression(regressionTolerance) {
-			verdict += "  WARNING: regression >10%"
+		if d.Regression(tolerance) {
+			verdict += fmt.Sprintf("  WARNING: regression >%.0f%%", tolerance*100)
 			warned++
 		}
 		fmt.Fprintf(stdout, "  %-28s %.4fs -> %.4fs  (%s)\n", d.ID, d.Base, d.Current, verdict)
 	}
 	if warned > 0 {
-		fmt.Fprintf(stdout, "[%d measurement(s) regressed more than 10%% against baseline]\n", warned)
+		fmt.Fprintf(stdout, "[%d measurement(s) regressed more than %.0f%% against baseline]\n", warned, tolerance*100)
 	} else {
-		fmt.Fprintln(stdout, "[no regressions beyond 10% tolerance]")
+		fmt.Fprintf(stdout, "[no regressions beyond %.0f%% tolerance]\n", tolerance*100)
 	}
-	return nil
+	return warned, nil
 }

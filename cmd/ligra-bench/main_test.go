@@ -97,3 +97,48 @@ func TestRunAllAtTinyScale(t *testing.T) {
 		}
 	}
 }
+
+// TestAgainstStrict exercises the CI gate: a baseline doctored to be
+// impossibly fast makes every measurement a regression, which warns by
+// default but exits non-zero under -against-strict; a generous
+// -drift-tolerance swallows it again.
+func TestAgainstStrict(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "hotpath", "-scale", "9", "-rounds", "1", "-json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := bench.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range baseline.Measurements {
+		baseline.Measurements[i].Seconds /= 1000
+	}
+	if err := baseline.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default: regressions warn, exit stays zero.
+	buf.Reset()
+	if err := run([]string{"-experiment", "hotpath", "-scale", "9", "-rounds", "1", "-against", path}, &buf); err != nil {
+		t.Fatalf("non-strict comparison failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "WARNING: regression") {
+		t.Errorf("doctored baseline produced no regression warning: %q", buf.String())
+	}
+
+	// Strict: the same regressions become an error.
+	buf.Reset()
+	err = run([]string{"-experiment", "hotpath", "-scale", "9", "-rounds", "1", "-against", path, "-against-strict"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("strict mode err = %v, want regression failure", err)
+	}
+
+	// Strict with an absurd tolerance passes.
+	buf.Reset()
+	if err := run([]string{"-experiment", "hotpath", "-scale", "9", "-rounds", "1",
+		"-against", path, "-against-strict", "-drift-tolerance", "1e9"}, &buf); err != nil {
+		t.Fatalf("strict with huge tolerance failed: %v", err)
+	}
+}

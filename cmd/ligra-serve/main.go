@@ -50,7 +50,7 @@ import (
 	"syscall"
 	"time"
 
-	"ligra/internal/compress"
+	"ligra"
 	"ligra/internal/graph"
 	"ligra/internal/server"
 )
@@ -175,7 +175,9 @@ func run(args []string) error {
 			source += " mmap=true"
 		}
 		info, err := srv.Registry().Load(context.Background(), p.name, source,
-			func() (graph.View, error) { return compress.LoadView(p.path, p.symmetric, p.mmap) })
+			func() (graph.View, error) {
+				return ligra.Load(p.path, ligra.LoadOptions{Symmetric: p.symmetric, MMap: p.mmap})
+			})
 		if err != nil {
 			return fmt.Errorf("preload: %w", err)
 		}

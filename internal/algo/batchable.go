@@ -77,9 +77,12 @@ func BatchResult(name string, res *ClusterBFSResult, i int, p Params) RunResult 
 	case "bfs":
 		visited := int(res.Reached[i])
 		rounds := int(res.Depth[i])
+		// Batched sweeps are ClusterBFS, an edgeMap execution: the backend
+		// detail must match the direct bfs runner's edgeMap path so the two
+		// stay interchangeable in the result cache.
 		return RunResult{
 			Summary: fmt.Sprintf("BFS from %d: visited %d vertices in %d rounds", p.Source, visited, rounds),
-			Details: map[string]any{"source": p.Source, "visited": visited, "rounds": rounds},
+			Details: map[string]any{"source": p.Source, "visited": visited, "rounds": rounds, "backend": BackendEdgeMap},
 		}
 	case "reach":
 		dist := res.LevelTo(i, p.Target)

@@ -51,6 +51,13 @@ type Params struct {
 	// Landmarks are the vertices the landmarks algorithm reports
 	// distances to; required (and only meaningful) for that algorithm.
 	Landmarks []uint32 `json:"landmarks,omitempty"`
+	// Backend selects the execution backend for algorithms that have a
+	// semiring kernel (HasSpMVKernel): "" or "edgemap" (frontier-based
+	// edgeMap, the default), "spmv" (internal/spmv kernels), or "auto"
+	// (per-shape choice; see ResolveBackend). Both backends produce
+	// bit-identical results, so Backend is deliberately absent from
+	// Canonical: it changes how a result is computed, never what it is.
+	Backend string `json:"backend,omitempty"`
 
 	// EdgeMap carries the non-serializable per-run extras (tracing, a
 	// fallback context, a per-call proc cap) that EdgeMapOptions merges
@@ -60,22 +67,31 @@ type Params struct {
 }
 
 // Validate rejects parameter combinations the registry cannot interpret
-// (currently just an unknown Mode). It is shared by ligra-run's flag
-// parsing and the server's request decoding so both report identical
-// errors.
+// (an unknown Mode or Backend). It is shared by ligra-run's flag parsing
+// and the server's request decoding so both report identical errors.
+// Whether the chosen Backend applies to a particular algorithm is checked
+// later by ResolveBackend, which knows the algorithm and graph.
 func (p Params) Validate() error {
 	switch p.Mode {
 	case "", "auto", "sparse", "dense", "dense-forward":
-		return nil
 	default:
 		return fmt.Errorf("unknown mode %q (have auto | sparse | dense | dense-forward)", p.Mode)
 	}
+	switch p.Backend {
+	case "", BackendEdgeMap, BackendSpMV, BackendAuto:
+	default:
+		return fmt.Errorf("unknown backend %q (have edgemap | spmv | auto)", p.Backend)
+	}
+	return nil
 }
 
 // Canonical renders the serializable parameters as a stable, normalized
 // string: equal strings mean the run is deterministic-equivalent, which is
 // what the server's result cache keys on. The non-serializable EdgeMap
-// extras are deliberately excluded.
+// extras are deliberately excluded — and so is Backend: the edgeMap and
+// spmv backends are bit-identical (internal/spmv property tests), so a
+// result cached under one backend must be served to a request for the
+// other instead of being computed twice.
 func (p Params) Canonical() string {
 	mode := p.Mode
 	if mode == "" {
@@ -193,10 +209,17 @@ var runners = []Runner{
 	{
 		Name: "bfs", NeedsSource: true, Cancellable: true,
 		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			backend, berr := ResolveBackend("bfs", g, p)
+			if berr != nil {
+				return RunResult{}, berr
+			}
+			if backend == BackendSpMV {
+				return spmvBFSRun(ctx, g, p)
+			}
 			res, err := BFSCtx(ctx, g, p.Source, p.EdgeMapOptions())
 			return RunResult{
 				Summary: fmt.Sprintf("BFS from %d: visited %d vertices in %d rounds", p.Source, res.Visited, res.Rounds),
-				Details: map[string]any{"source": p.Source, "visited": res.Visited, "rounds": res.Rounds},
+				Details: map[string]any{"source": p.Source, "visited": res.Visited, "rounds": res.Rounds, "backend": BackendEdgeMap},
 			}, err
 		},
 	},
@@ -291,12 +314,19 @@ var runners = []Runner{
 	{
 		Name: "pagerank", Cancellable: true,
 		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
+			backend, berr := ResolveBackend("pagerank", g, p)
+			if berr != nil {
+				return RunResult{}, berr
+			}
+			if backend == BackendSpMV {
+				return spmvPageRankRun(ctx, g, p)
+			}
 			o := DefaultPageRankOptions()
 			o.EdgeMap = p.EdgeMapOptions()
 			res, err := PageRankCtx(ctx, g, o)
 			return RunResult{
 				Summary: fmt.Sprintf("PageRank: %d iterations, final L1 change %.3g", res.Iterations, res.Err),
-				Details: map[string]any{"iterations": res.Iterations, "l1_change": res.Err},
+				Details: map[string]any{"iterations": res.Iterations, "l1_change": res.Err, "backend": BackendEdgeMap},
 			}, err
 		},
 	},
@@ -454,13 +484,20 @@ var runners = []Runner{
 		},
 	},
 	{
-		Name: "triangles",
+		Name: "triangles", Cancellable: true,
 		Run: func(ctx context.Context, g graph.View, p Params) (RunResult, error) {
-			count := TriangleCount(g)
+			backend, berr := ResolveBackend("triangles", g, p)
+			if berr != nil {
+				return RunResult{}, berr
+			}
+			if backend == BackendSpMV {
+				return spmvTrianglesRun(ctx, g, p)
+			}
+			count, err := TriangleCountCtx(backendCtx(ctx, p), g)
 			return RunResult{
 				Summary: fmt.Sprintf("Triangles: %d", count),
-				Details: map[string]any{"triangles": count},
-			}, nil
+				Details: map[string]any{"triangles": count, "backend": BackendEdgeMap},
+			}, err
 		},
 	},
 	{

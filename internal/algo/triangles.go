@@ -1,6 +1,8 @@
 package algo
 
 import (
+	"context"
+
 	"ligra/internal/graph"
 	"ligra/internal/parallel"
 )
@@ -12,9 +14,22 @@ import (
 // lists intersect. Work is O(m^{3/2}) and the per-vertex loop parallelizes
 // directly.
 func TriangleCount(g graph.View) int64 {
+	count, err := TriangleCountCtx(nil, g)
+	if err != nil {
+		panic(err)
+	}
+	return count
+}
+
+// TriangleCountCtx is TriangleCount with cooperative cancellation: ctx
+// (nil = background) is observed at chunk granularity in every phase. On
+// interruption the returned count is meaningless (0) — there is no useful
+// partial result for a global count — and the error wraps the cause as a
+// *RoundError.
+func TriangleCountCtx(ctx context.Context, g graph.View) (int64, error) {
 	n := g.NumVertices()
 	if n == 0 {
-		return 0
+		return 0, roundErr("triangles", 0, ctxErr(ctx))
 	}
 	// rank(v) < rank(d) iff (deg, id) of v is smaller.
 	higher := func(v, d uint32) bool {
@@ -24,7 +39,7 @@ func TriangleCount(g graph.View) int64 {
 
 	// Build forward adjacency lists (neighbors of higher rank), sorted.
 	fwdDeg := make([]int64, n)
-	parallel.For(n, func(i int) {
+	if err := parallel.ForCtx(ctx, n, func(i int) {
 		v := uint32(i)
 		var c int64
 		g.OutNeighbors(v, func(d uint32, _ int32) bool {
@@ -34,13 +49,15 @@ func TriangleCount(g graph.View) int64 {
 			return true
 		})
 		fwdDeg[i] = c
-	})
+	}); err != nil {
+		return 0, roundErr("triangles", 0, err)
+	}
 	offsets := make([]int64, n+1)
 	total := parallel.ScanExclusive(fwdDeg, offsets[:n])
 	offsets[n] = total
 
 	fwd := make([]uint32, total)
-	parallel.For(n, func(i int) {
+	if err := parallel.ForCtx(ctx, n, func(i int) {
 		v := uint32(i)
 		k := offsets[i]
 		g.OutNeighbors(v, func(d uint32, _ int32) bool {
@@ -52,10 +69,12 @@ func TriangleCount(g graph.View) int64 {
 		})
 		row := fwd[offsets[i]:k]
 		parallel.Sort(row) // rows are short (O(sqrt m)); sorts sequentially
-	})
+	}); err != nil {
+		return 0, roundErr("triangles", 0, err)
+	}
 
 	row := func(v uint32) []uint32 { return fwd[offsets[v]:offsets[v+1]] }
-	return parallel.SumFunc(n, func(i int) int64 {
+	count, err := parallel.SumFuncCtx(ctx, n, func(i int) int64 {
 		v := uint32(i)
 		rv := row(v)
 		var c int64
@@ -64,6 +83,7 @@ func TriangleCount(g graph.View) int64 {
 		}
 		return c
 	})
+	return count, roundErr("triangles", 0, err)
 }
 
 // intersectSortedCount returns |a ∩ b| for sorted slices, merging when the

@@ -555,10 +555,11 @@ func Experiments() map[string]func(Config) error {
 		"scheduler":    Scheduler,
 		"batch":        Batch,
 		"delta":        DeltaUpdates,
+		"spmv":         SpMV,
 	}
 }
 
 // ExperimentOrder lists the IDs in presentation order.
 func ExperimentOrder() []string {
-	return []string{"table1", "table2", "scalability", "frontier", "threshold", "denseforward", "compress", "dedup", "bucketing", "hotpath", "servecache", "scheduler", "batch", "delta"}
+	return []string{"table1", "table2", "scalability", "frontier", "threshold", "denseforward", "compress", "dedup", "bucketing", "hotpath", "servecache", "scheduler", "batch", "delta", "spmv"}
 }

@@ -158,6 +158,34 @@ func (g *Graph) InEdgesSlice(v uint32) ([]uint32, []int32) {
 // not mutate it.
 func (g *Graph) Offsets() []int64 { return g.offsets }
 
+// InOffsets returns the transpose CSR offset array (length NumVertices+1);
+// for symmetric graphs the out-arrays serve both directions, so it returns
+// Offsets. Callers must not mutate it.
+func (g *Graph) InOffsets() []int64 {
+	if g.symmetric {
+		return g.offsets
+	}
+	return g.inOffsets
+}
+
+// InEdges returns the transpose CSR source array (Edges for symmetric
+// graphs). Callers must not mutate it.
+func (g *Graph) InEdges() []uint32 {
+	if g.symmetric {
+		return g.edges
+	}
+	return g.inEdges
+}
+
+// InWeights returns the transpose CSR weight array (nil if unweighted;
+// Weights for symmetric graphs). Callers must not mutate it.
+func (g *Graph) InWeights() []int32 {
+	if g.symmetric {
+		return g.weights
+	}
+	return g.inWeights
+}
+
 // Edges returns the CSR target array. Callers must not mutate it.
 func (g *Graph) Edges() []uint32 { return g.edges }
 

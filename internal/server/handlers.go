@@ -11,8 +11,8 @@ import (
 	"strconv"
 	"time"
 
+	"ligra"
 	"ligra/internal/algo"
-	"ligra/internal/compress"
 	"ligra/internal/gen"
 	"ligra/internal/graph"
 	"ligra/internal/parallel"
@@ -217,7 +217,7 @@ func (lr loadRequest) plan() (string, func() (graph.View, error), error) {
 			source += " mmap=true"
 		}
 		build = func() (graph.View, error) {
-			return compress.LoadView(lr.Path, lr.Symmetric, lr.Mmap)
+			return ligra.Load(lr.Path, ligra.LoadOptions{Symmetric: lr.Symmetric, MMap: lr.Mmap})
 		}
 	case lr.Gen == "rmat":
 		source = fmt.Sprintf("gen:rmat scale=%d seed=%d", scale, lr.Seed)
@@ -339,6 +339,12 @@ type queryResponse struct {
 	// of one; the answer is identical either way).
 	Batched   bool `json:"batched,omitempty"`
 	BatchSize int  `json:"batch_size,omitempty"`
+	// Backend names the execution backend that produced the result
+	// ("edgemap" or "spmv"; "auto" requests report what auto resolved to).
+	// Cached and coalesced replies report the backend of the execution
+	// that filled the cache — the backends are bit-identical, so the
+	// result is the same either way.
+	Backend string `json:"backend,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -390,6 +396,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// answers straight from the shared sweep, so a range error must be
 	// rejected here rather than silently read as "unreachable".
 	if err := algo.BatchValidate(runner.Name, g.NumVertices(), req.Params); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Resolve the execution backend against the pinned view (Validate only
+	// checked the name; whether this algorithm has an spmv kernel, and what
+	// "auto" means for this graph, is decided here).
+	backend, err := algo.ResolveBackend(runner.Name, g, req.Params)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -497,7 +511,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var val engine.Value
 	var how engine.Info
 	var binfo batch.Info
-	if s.batcher != nil && algo.Batchable(runner.Name) {
+	// The batch collector's shared sweeps are ClusterBFS — an edgeMap
+	// execution — so a query that resolved to the spmv backend bypasses
+	// batching and runs its kernel through the engine instead.
+	if s.batcher != nil && backend == algo.BackendEdgeMap && algo.Batchable(runner.Name) {
 		// Batched path: the query contributes one source bit to a shared
 		// ClusterBFS sweep over every compatible query in the window.
 		// The shape key admits any batchable algorithm against the same
@@ -552,11 +569,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	executed := !how.Cached && !how.Coalesced
 
 	res, _ := val.Data.(algo.RunResult)
+	resBackend, _ := res.Details["backend"].(string)
+	if executed && resBackend != "" {
+		s.metrics.Backend(resBackend).Add(1)
+	}
 	resp := queryResponse{
 		Graph: name, Algo: runner.Name,
 		Summary: res.Summary, Details: sanitizeDetails(res.Details), ElapsedMs: elapsed,
 		Cached: how.Cached, Coalesced: how.Coalesced, Procs: how.Procs,
 		Batched: binfo.Batched, BatchSize: binfo.BatchSize,
+		Backend: resBackend,
 	}
 	var pe *parallel.PanicError
 	var re *algo.RoundError

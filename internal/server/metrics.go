@@ -29,6 +29,10 @@ type Metrics struct {
 
 	mu    sync.Mutex
 	algos map[string]*AlgoMetrics
+	// backends counts executed (non-cached, non-coalesced) queries by the
+	// execution backend that ran them ("edgemap" / "spmv"), so the mix of
+	// edgeMap and semiring-kernel executions is observable.
+	backends map[string]*expvar.Int
 }
 
 // AlgoMetrics is one algorithm's counter set.
@@ -51,7 +55,24 @@ type AlgoMetrics struct {
 
 // NewMetrics returns a zeroed metric set.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), algos: make(map[string]*AlgoMetrics)}
+	return &Metrics{
+		start:    time.Now(),
+		algos:    make(map[string]*AlgoMetrics),
+		backends: make(map[string]*expvar.Int),
+	}
+}
+
+// Backend returns (creating on first use) the named execution backend's
+// executed-query counter.
+func (m *Metrics) Backend(name string) *expvar.Int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.backends[name]
+	if !ok {
+		b = &expvar.Int{}
+		m.backends[name] = b
+	}
+	return b
 }
 
 // Algo returns (creating on first use) the named algorithm's counters.
@@ -82,6 +103,10 @@ type Snapshot struct {
 	Admitted      int64                   `json:"admitted"`
 	Rejected429   int64                   `json:"rejected_429"`
 	Algos         map[string]AlgoSnapshot `json:"algos"`
+	// Backends counts executed queries per execution backend ("edgemap" /
+	// "spmv"); cached and coalesced replies are not counted (they ran
+	// nothing). Empty until a backend-reporting algorithm executes.
+	Backends map[string]int64 `json:"backends,omitempty"`
 	Graphs        []GraphInfo             `json:"graphs"`
 	GraphBytes    int64                   `json:"graph_bytes_total"`
 	// GraphMappedBytes totals the memory-mapped (page-cache resident)
@@ -154,6 +179,12 @@ func (m *Metrics) Snapshot(reg *Registry, eng *engine.Engine, res ResilienceSnap
 			Timeouts:     a.Timeouts.Value(),
 			Panics:       a.Panics.Value(),
 			LatencyMsSum: a.LatencyMsSum.Value(),
+		}
+	}
+	if len(m.backends) > 0 {
+		s.Backends = make(map[string]int64, len(m.backends))
+		for name, b := range m.backends {
+			s.Backends[name] = b.Value()
 		}
 	}
 	m.mu.Unlock()

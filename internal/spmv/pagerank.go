@@ -1,0 +1,140 @@
+package spmv
+
+import (
+	"context"
+	"math"
+
+	"ligra/internal/core"
+	"ligra/internal/graph"
+	"ligra/internal/parallel"
+)
+
+// PageRankOptions configures the PageRank kernel. The zero value selects
+// the same defaults as the edgeMap backend (damping 0.85, epsilon 1e-7,
+// 100 iterations when no stopping rule is given).
+type PageRankOptions struct {
+	Damping       float64
+	Epsilon       float64
+	MaxIterations int
+}
+
+// PageRankResult carries the output of the PageRank kernel; the fields
+// mirror algo.PageRankResult.
+type PageRankResult struct {
+	Ranks      []float64
+	Iterations int
+	Err        float64
+}
+
+// PageRank runs power iteration as a pull-mode (+, ×) SpMV: each round
+// computes p' = base + d·(Aᵀ p̂) where p̂[v] = p[v]/deg⁺(v), gathering every
+// destination's in-row into a register and fusing the rank update and the
+// per-vertex L1 residual into the same pass. There is no push realization:
+// the full-vertex "frontier" of power iteration is exactly the shape where
+// pull wins (and where edgeMap itself always goes dense).
+//
+// The result is bit-identical to algo.PageRankCtx under the default (auto
+// or dense) mode: the gather accumulates each destination's in-edges in the
+// same order as edgeMap's dense pull, the dangling-mass and L1 reductions
+// use the same fixed-block parallel.SumFunc tree, and rank updates are
+// double-buffered so an interrupted round leaves the previous iteration's
+// ranks untouched. (Forcing mode=sparse on the edgeMap backend makes *that*
+// backend nondeterministic in the low bits — concurrent atomic float adds —
+// so bit-identity is defined against the deterministic dense path.)
+//
+// Cancellation: ctx (nil = background) is observed before each iteration
+// and at chunk granularity inside the gather. On interruption it returns
+// the ranks of the last fully completed iteration — the same contract as
+// algo.PageRankCtx — with the cause (context error or contained
+// *parallel.PanicError) as the returned error.
+func PageRank(ctx context.Context, g graph.View, o PageRankOptions) (*PageRankResult, error) {
+	n := g.NumVertices()
+	if n == 0 {
+		if ctx != nil && ctx.Err() != nil {
+			return &PageRankResult{}, ctx.Err()
+		}
+		return &PageRankResult{}, nil
+	}
+	if o.Damping <= 0 || o.Damping >= 1 {
+		o.Damping = 0.85
+	}
+	if o.MaxIterations <= 0 && o.Epsilon <= 0 {
+		o.MaxIterations = 100
+	}
+
+	p := make([]float64, n)
+	pNext := make([]float64, n)
+	pDiv := make([]float64, n)  // p[v]/deg⁺(v), read-only during the gather
+	delta := make([]float64, n) // |p'[v] - p[v]|, reduced after the gather
+	parallel.Fill(p, 1/float64(n))
+
+	adj := rawCSR(g)
+	m := g.NumEdges()
+	grain := parallel.AutoGrainCtx(ctx, n)
+
+	iters := 0
+	errL1 := math.Inf(1)
+	for {
+		if o.MaxIterations > 0 && iters >= o.MaxIterations {
+			break
+		}
+		if o.Epsilon > 0 && errL1 < o.Epsilon {
+			break
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return &PageRankResult{Ranks: p, Iterations: iters, Err: errL1}, ctx.Err()
+		}
+		// Dangling mass: rank held by out-degree-0 vertices, spread evenly.
+		dangling := parallel.SumFunc(n, func(i int) float64 {
+			if g.OutDegree(uint32(i)) == 0 {
+				return p[i]
+			}
+			return 0
+		})
+		parallel.For(n, func(i int) {
+			if deg := g.OutDegree(uint32(i)); deg > 0 {
+				pDiv[i] = p[i] / float64(deg)
+			} else {
+				pDiv[i] = 0
+			}
+		})
+		base := (1-o.Damping)/float64(n) + o.Damping*dangling/float64(n)
+
+		// Fused gather: one in-row scan per destination computes the new
+		// rank and its residual. Writes go only to the pNext/delta scratch,
+		// so an aborted pass cannot corrupt p.
+		err := parallel.ForRangeGrainCtx(ctx, n, grain, func(lo, hi int) {
+			if adj.haveIn {
+				for d := lo; d < hi; d++ {
+					var sum float64
+					ilo, ihi := adj.inOff[d], adj.inOff[d+1]
+					for _, s := range adj.inSrc[ilo:ihi] {
+						sum += pDiv[s]
+					}
+					next := base + o.Damping*sum
+					pNext[d] = next
+					delta[d] = math.Abs(next - p[d])
+				}
+				return
+			}
+			for d := lo; d < hi; d++ {
+				var sum float64
+				g.InNeighbors(uint32(d), func(s uint32, _ int32) bool {
+					sum += pDiv[s]
+					return true
+				})
+				next := base + o.Damping*sum
+				pNext[d] = next
+				delta[d] = math.Abs(next - p[d])
+			}
+		})
+		if err != nil {
+			return &PageRankResult{Ranks: p, Iterations: iters, Err: errL1}, err
+		}
+		errL1 = parallel.SumFunc(n, func(i int) float64 { return delta[i] })
+		p, pNext = pNext, p
+		iters++
+		core.RecordTraversal(n, m, true, false, false, 0)
+	}
+	return &PageRankResult{Ranks: p, Iterations: iters, Err: errL1}, nil
+}

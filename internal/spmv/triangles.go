@@ -1,0 +1,206 @@
+package spmv
+
+import (
+	"context"
+
+	"ligra/internal/graph"
+	"ligra/internal/parallel"
+)
+
+// markCutoff is the forward-row length below which the counting pass uses
+// plain sorted-merge intersection instead of scatter/gather against the
+// per-worker mark vector: marking and unmarking a tiny row costs more than
+// merging it.
+const markCutoff = 16
+
+// TriangleCount counts the triangles of a symmetric simple graph as a
+// masked SpGEMM over the rank-oriented adjacency: with U the
+// lower-to-higher (degree, ID) orientation of A, the count is
+// sum(U·U ∘ U) — each triangle contributes exactly one nonzero, at its
+// lowest-ranked vertex. The kernel realizes one U·U row product at a time:
+// scatter row U(v) into a per-worker dense mark vector (the mask), then for
+// every u ∈ U(v) gather row U(u) against the mask, counting hits. Rows
+// shorter than markCutoff skip the mask and use sorted-merge intersection —
+// the same hybrid LAGraph uses for its "dot" vs "hash" triangle variants.
+//
+// The count is an exact integer, so it is trivially bit-identical to the
+// edgeMap backend's algo.TriangleCount.
+//
+// Cancellation: ctx (nil = background) is observed at chunk granularity in
+// every phase (orientation, bucketing, sort, count); on interruption the
+// error wraps the cause (or a contained *parallel.PanicError) and the
+// count is meaningless (0).
+func TriangleCount(ctx context.Context, g graph.View) (int64, error) {
+	n := g.NumVertices()
+	if n == 0 {
+		if ctx != nil && ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		return 0, nil
+	}
+
+	// Cache degrees: the orientation comparator runs once per directed
+	// edge, and View.OutDegree may be virtual-dispatch per call.
+	deg := make([]int32, n)
+	if err := parallel.ForCtx(ctx, n, func(i int) {
+		deg[i] = int32(g.OutDegree(uint32(i)))
+	}); err != nil {
+		return 0, err
+	}
+	// rank(v) < rank(d) iff (deg, id) of v is smaller — identical
+	// orientation to algo.TriangleCount.
+	higher := func(v, d uint32) bool {
+		dv, dd := deg[v], deg[d]
+		return dd > dv || (dd == dv && d > v)
+	}
+
+	adj := rawCSR(g)
+	outRow := func(v uint32, fn func(d uint32)) {
+		if adj.haveOut {
+			lo, hi := adj.outOff[v], adj.outOff[v+1]
+			for _, d := range adj.outDst[lo:hi] {
+				fn(d)
+			}
+			return
+		}
+		g.OutNeighbors(v, func(d uint32, _ int32) bool { fn(d); return true })
+	}
+
+	// Build U's CSR: forward (higher-rank) neighbors of every vertex,
+	// sorted ascending so the merge path and the gather scans are ordered.
+	fwdDeg := make([]int64, n)
+	if err := parallel.ForCtx(ctx, n, func(i int) {
+		v := uint32(i)
+		var c int64
+		outRow(v, func(d uint32) {
+			if higher(v, d) {
+				c++
+			}
+		})
+		fwdDeg[i] = c
+	}); err != nil {
+		return 0, err
+	}
+	offsets := make([]int64, n+1)
+	total := parallel.ScanExclusive(fwdDeg, offsets[:n])
+	offsets[n] = total
+
+	fwd := make([]uint32, total)
+	if err := parallel.ForCtx(ctx, n, func(i int) {
+		v := uint32(i)
+		k := offsets[i]
+		outRow(v, func(d uint32) {
+			if higher(v, d) {
+				fwd[k] = d
+				k++
+			}
+		})
+		parallel.Sort(fwd[offsets[i]:k]) // rows are short (O(√m)); sorts sequentially
+	}); err != nil {
+		return 0, err
+	}
+	row := func(v uint32) []uint32 { return fwd[offsets[v]:offsets[v+1]] }
+
+	// Count. Per-worker state: one dense mark vector (lazily allocated on
+	// the worker's first marked row) and one padded counter; each worker
+	// runs one chunk at a time, so neither needs synchronization.
+	procs := parallel.CtxProcs(ctx)
+	marks := make([][]bool, procs)
+	type padded struct {
+		c int64
+		_ [56]byte
+	}
+	counts := make([]padded, procs)
+	err := parallel.ForWorkerChunksCtx(ctx, n, 0, func(worker, _, lo, hi int) {
+		mk := marks[worker]
+		var c int64
+		for i := lo; i < hi; i++ {
+			rv := row(uint32(i))
+			if len(rv) < markCutoff {
+				for _, u := range rv {
+					c += intersectSortedCount(rv, row(u))
+				}
+				continue
+			}
+			if mk == nil {
+				mk = make([]bool, n)
+				marks[worker] = mk
+			}
+			for _, u := range rv {
+				mk[u] = true
+			}
+			for _, u := range rv {
+				for _, w := range row(u) {
+					if mk[w] {
+						c++
+					}
+				}
+			}
+			for _, u := range rv {
+				mk[u] = false
+			}
+		}
+		counts[worker].c += c
+	})
+	if err != nil {
+		return 0, err
+	}
+	var totalTri int64
+	for i := range counts {
+		totalTri += counts[i].c
+	}
+	return totalTri, nil
+}
+
+// intersectSortedCount returns |a ∩ b| for sorted slices, merging when the
+// lengths are comparable and galloping when one side is much shorter (the
+// same hybrid as the edgeMap backend's triangle count).
+func intersectSortedCount(a, b []uint32) int64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	if len(b) >= 8*len(a) {
+		var c int64
+		lo := 0
+		for _, x := range a {
+			lo += searchU32(b[lo:], x)
+			if lo < len(b) && b[lo] == x {
+				c++
+				lo++
+			}
+		}
+		return c
+	}
+	var c int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// searchU32 returns the first index i with s[i] >= x (len(s) if none).
+func searchU32(s []uint32, x uint32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
